@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries.
+ */
+#ifndef BENCH_BENCH_COMMON_H
+#define BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "benchmarks/suite.h"
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+
+namespace repro::bench {
+
+/** Idiom-class counts of one benchmark. */
+struct ClassCounts
+{
+    int sr = 0, h = 0, st = 0, m = 0, sp = 0;
+
+    void
+    add(idioms::IdiomClass cls)
+    {
+        switch (cls) {
+          case idioms::IdiomClass::ScalarReduction: ++sr; break;
+          case idioms::IdiomClass::HistogramReduction: ++h; break;
+          case idioms::IdiomClass::Stencil: ++st; break;
+          case idioms::IdiomClass::MatrixOp: ++m; break;
+          case idioms::IdiomClass::SparseMatrixOp: ++sp; break;
+          default: break;
+        }
+    }
+
+    int total() const { return sr + h + st + m + sp; }
+};
+
+/** Compile one benchmark and detect its idioms. */
+inline std::vector<idioms::IdiomMatch>
+detectBenchmark(const benchmarks::BenchmarkProgram &b,
+                ir::Module &module)
+{
+    frontend::compileMiniCOrDie(b.source, module);
+    idioms::IdiomDetector detector;
+    return detector.detectModule(module);
+}
+
+inline ClassCounts
+countClasses(const std::vector<idioms::IdiomMatch> &matches)
+{
+    ClassCounts c;
+    for (const auto &m : matches)
+        c.add(m.cls);
+    return c;
+}
+
+} // namespace repro::bench
+
+#endif // BENCH_BENCH_COMMON_H

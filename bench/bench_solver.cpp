@@ -1,0 +1,102 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the constraint solver
+ * (section 4.4: "the overhead is modest"): detection cost for the
+ * factorization example, GEMM, SPMV and full-suite scans.
+ */
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+using namespace repro;
+
+namespace {
+
+/** A function with @p n independent statements plus one match. */
+std::string
+syntheticSource(int n)
+{
+    std::string src = "int f(int a, int b, int c) {\n int acc = 0;\n";
+    for (int i = 0; i < n; ++i) {
+        src += " acc = acc + " + std::to_string(i % 7) +
+               " * (a + " + std::to_string(i) + ");\n";
+    }
+    src += " return (a*b) + (c*a) + acc;\n}\n";
+    return src;
+}
+
+void
+BM_DetectFactorization(benchmark::State &state)
+{
+    ir::Module module;
+    frontend::compileMiniCOrDie(
+        syntheticSource(static_cast<int>(state.range(0))), module);
+    ir::Function *func = module.functionByName("f");
+    for (auto _ : state) {
+        idioms::IdiomDetector detector;
+        auto matches =
+            detector.detectOne(func, "FactorizationOpportunity");
+        benchmark::DoNotOptimize(matches);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DetectIdiom(benchmark::State &state, const char *bench_name,
+               const char *idiom)
+{
+    const auto &b = benchmarks::benchmarkByName(bench_name);
+    ir::Module module;
+    frontend::compileMiniCOrDie(b.source, module);
+    ir::Function *func = module.functionByName(b.entry);
+    for (auto _ : state) {
+        idioms::IdiomDetector detector;
+        auto matches = detector.detectOne(func, idiom);
+        benchmark::DoNotOptimize(matches);
+    }
+}
+
+void
+BM_DetectSpmvInCg(benchmark::State &state)
+{
+    BM_DetectIdiom(state, "CG", "SPMV");
+}
+
+void
+BM_DetectGemmInSgemm(benchmark::State &state)
+{
+    BM_DetectIdiom(state, "sgemm", "GEMM");
+}
+
+void
+BM_DetectStencilInParboil(benchmark::State &state)
+{
+    BM_DetectIdiom(state, "stencil", "Stencil3D");
+}
+
+void
+BM_DetectFullSuite(benchmark::State &state)
+{
+    for (auto _ : state) {
+        int total = 0;
+        for (const auto &b : benchmarks::nasParboilSuite()) {
+            ir::Module module;
+            auto matches = bench::detectBenchmark(b, module);
+            total += static_cast<int>(matches.size());
+        }
+        benchmark::DoNotOptimize(total);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_DetectFactorization)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity();
+BENCHMARK(BM_DetectSpmvInCg);
+BENCHMARK(BM_DetectGemmInSgemm);
+BENCHMARK(BM_DetectStencilInParboil);
+BENCHMARK(BM_DetectFullSuite)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Regenerates Table 3: modeled execution time in milliseconds of each
+ * heterogeneous API on each platform, for the 10 benchmarks whose
+ * idioms dominate execution. Empty cells mean the API cannot express
+ * the idiom or does not target the platform.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "runtime/device_model.h"
+
+using namespace repro;
+using runtime::Api;
+using runtime::Platform;
+
+int
+main()
+{
+    std::printf("Table 3: per-API modeled times (ms); * marks the "
+                "fastest per platform\n\n");
+    for (Platform p : runtime::allPlatforms()) {
+        std::printf("--- %s ---\n", runtime::platformName(p));
+        std::printf("%-8s", "bench");
+        for (Api api : runtime::allApis())
+            std::printf(" %9s", runtime::apiName(api));
+        std::printf("\n");
+        for (const auto &b : benchmarks::nasParboilSuite()) {
+            if (!b.exploited)
+                continue;
+            auto best = runtime::bestApiOn(p, b.profile, true);
+            std::printf("%-8s", b.name.c_str());
+            for (Api api : runtime::allApis()) {
+                auto t = runtime::apiTimeOn(p, api, b.profile, true);
+                if (!t) {
+                    std::printf(" %9s", "-");
+                } else {
+                    char buf[32];
+                    std::snprintf(buf, sizeof(buf), "%.2f%s", *t,
+                                  best && best->api == api ? "*"
+                                                           : "");
+                    std::printf(" %9s", buf);
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("Shape targets from the paper: MKL best on CPU linear"
+                " algebra;\ncuBLAS/cuSPARSE best on the external GPU;"
+                " histo/MG favour the iGPU;\ntpacf is fastest on the "
+                "CPU (transfers dominate the GPUs).\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Semantic (not syntactic) matching — section 4.3 / Figure 8 of the
+ * paper: two syntactically distinct GEMM implementations both match
+ * the single GEMM idiom, and the Lift composition of Figure 15
+ * computes the same result as the BLAS library.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "runtime/blas.h"
+#include "runtime/lift_like.h"
+
+using namespace repro;
+
+namespace {
+
+// First style: strided / transposed operands with alpha and beta.
+const char *kStyle1 = R"(
+    void style1(float *A, int lda, float *B, int ldb, float *C,
+                int ldc, int m, int n, int k,
+                float alpha, float beta) {
+        for (int mm = 0; mm < m; mm++) {
+            for (int nn = 0; nn < n; nn++) {
+                float c = 0.0f;
+                for (int i = 0; i < k; i++) {
+                    float a = A[mm + i * lda];
+                    float b = B[nn + i * ldb];
+                    c += a * b;
+                }
+                C[mm+nn*ldc] = C[mm+nn*ldc] * beta + alpha * c;
+            }
+        }
+    }
+)";
+
+// Second style: two-dimensional global arrays, memory accumulator.
+const char *kStyle2 = R"(
+    float M1[64][64];
+    float M2[64][64];
+    float M3[64][64];
+    void style2() {
+        for (int i = 0; i < 64; i++)
+            for (int j = 0; j < 64; j++) {
+                M3[i][j] = 0.0f;
+                for (int k = 0; k < 64; k++)
+                    M3[i][j] += M1[i][k] * M2[k][j];
+            }
+    }
+)";
+
+int
+gemmMatches(const char *source, const char *entry)
+{
+    ir::Module module;
+    frontend::compileMiniCOrDie(source, module);
+    idioms::IdiomDetector detector;
+    auto matches =
+        detector.detectOne(module.functionByName(entry), "GEMM");
+    return static_cast<int>(matches.size());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Style 1 (strided, alpha/beta): %d GEMM match(es)\n",
+                gemmMatches(kStyle1, "style1"));
+    std::printf("Style 2 (2D arrays, += accumulator): %d GEMM "
+                "match(es)\n\n",
+                gemmMatches(kStyle2, "style2"));
+
+    // Figure 15: gemm_in_lift — and it agrees with the BLAS library.
+    const size_t m = 3, n = 4, k = 5;
+    std::vector<double> a(m * k), b(k * n), c(m * n, 1.0);
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] = 0.5 + 0.25 * static_cast<double>(i % 7);
+    for (size_t i = 0; i < b.size(); ++i)
+        b[i] = 1.0 - 0.125 * static_cast<double>(i % 5);
+
+    runtime::lift::Value lift_out =
+        runtime::lift::gemmInLift(a, b, c, m, n, k, 2.0, 0.5);
+
+    std::vector<double> blas_out = c;
+    // Row-major: C[i*n + j], A[i*k + kk], B[kk*n + j].
+    runtime::blas::gemm(blas_out.data(), static_cast<int64_t>(n), 1,
+                        a.data(), static_cast<int64_t>(k), 1,
+                        b.data(), 1, static_cast<int64_t>(n),
+                        static_cast<int64_t>(m),
+                        static_cast<int64_t>(n),
+                        static_cast<int64_t>(k), 2.0, 0.5);
+
+    std::printf("gemm_in_lift (Figure 15) vs BLAS library:\n");
+    bool ok = true;
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            double lv = lift_out.items()[i].items()[j].scalar();
+            double bv = blas_out[i * n + j];
+            ok = ok && lv == bv;
+        }
+    }
+    std::printf(ok ? "  identical results\n" : "  MISMATCH\n");
+
+    // Show the functional composition Lift compiles.
+    auto mult = [](const runtime::lift::Value &p) {
+        return runtime::lift::Value(p.items()[0].scalar() *
+                                    p.items()[1].scalar());
+    };
+    auto row = runtime::lift::input(
+        runtime::lift::Value::fromVector({1, 2, 3}), "a_row");
+    auto col = runtime::lift::input(
+        runtime::lift::Value::fromVector({4, 5, 6}), "b_col");
+    auto add = [](const runtime::lift::Value &x,
+                  const runtime::lift::Value &y) {
+        return runtime::lift::Value(x.scalar() + y.scalar());
+    };
+    auto dot = runtime::lift::reduce(
+        add, runtime::lift::Value(0.0),
+        runtime::lift::map(mult, runtime::lift::zip(row, col),
+                           "mult"),
+        "add");
+    std::printf("\n%s\n",
+                runtime::lift::generateOpenCl(dot, "dot").c_str());
+    return ok ? 0 : 1;
+}

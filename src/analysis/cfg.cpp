@@ -1,0 +1,134 @@
+#include "analysis/cfg.h"
+
+#include <deque>
+
+namespace repro::analysis {
+
+InstCFG::InstCFG(Function *func) : func_(func)
+{
+    for (const auto &bb : func->blocks()) {
+        const auto &insts = bb->insts();
+        for (size_t i = 0; i < insts.size(); ++i) {
+            Instruction *inst = insts[i].get();
+            if (i + 1 < insts.size()) {
+                succ_[inst].push_back(insts[i + 1].get());
+                pred_[insts[i + 1].get()].push_back(inst);
+            } else {
+                for (ir::BasicBlock *s : bb->successors()) {
+                    if (s->empty())
+                        continue;
+                    succ_[inst].push_back(s->front());
+                    pred_[s->front()].push_back(inst);
+                }
+            }
+        }
+    }
+}
+
+const std::vector<Instruction *> &
+InstCFG::successors(const Instruction *inst) const
+{
+    auto it = succ_.find(inst);
+    return it == succ_.end() ? empty_ : it->second;
+}
+
+const std::vector<Instruction *> &
+InstCFG::predecessors(const Instruction *inst) const
+{
+    auto it = pred_.find(inst);
+    return it == pred_.end() ? empty_ : it->second;
+}
+
+bool
+InstCFG::hasEdge(const Instruction *a, const Instruction *b) const
+{
+    for (Instruction *s : successors(a)) {
+        if (s == b)
+            return true;
+    }
+    return false;
+}
+
+bool
+InstCFG::pathExists(const Instruction *from, const Instruction *to,
+                    const std::set<const Instruction *> &without) const
+{
+    std::deque<const Instruction *> queue;
+    std::set<const Instruction *> seen;
+    queue.push_back(from);
+    seen.insert(from);
+    while (!queue.empty()) {
+        const Instruction *cur = queue.front();
+        queue.pop_front();
+        for (Instruction *next : successors(cur)) {
+            if (next == to)
+                return true;
+            if (without.count(next) || !seen.insert(next).second)
+                continue;
+            queue.push_back(next);
+        }
+    }
+    return false;
+}
+
+bool
+dataPathExists(const Value *from, const Value *to,
+               const std::set<const Value *> &without)
+{
+    if (from == to)
+        return true;
+    std::deque<const Value *> queue;
+    std::set<const Value *> seen;
+    queue.push_back(from);
+    seen.insert(from);
+    while (!queue.empty()) {
+        const Value *cur = queue.front();
+        queue.pop_front();
+        for (Instruction *user : cur->users()) {
+            if (user == to)
+                return true;
+            if (without.count(user) || !seen.insert(user).second)
+                continue;
+            queue.push_back(user);
+        }
+    }
+    return false;
+}
+
+bool
+anyFlowPathExists(const InstCFG &cfg, const Value *from, const Value *to,
+                  const std::set<const Value *> &without)
+{
+    std::deque<const Value *> queue;
+    std::set<const Value *> seen;
+    queue.push_back(from);
+    seen.insert(from);
+
+    auto visit = [&](Value *next) -> bool {
+        if (next == to)
+            return true;
+        if (without.count(next) || !seen.insert(next).second)
+            return false;
+        queue.push_back(next);
+        return false;
+    };
+
+    while (!queue.empty()) {
+        const Value *cur = queue.front();
+        queue.pop_front();
+        for (Instruction *user : cur->users()) {
+            if (visit(user))
+                return true;
+        }
+        if (cur->isInstruction()) {
+            auto *inst = static_cast<const Instruction *>(cur);
+            for (Instruction *next : cfg.successors(inst)) {
+                if (visit(next))
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace repro::analysis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Instruction-granularity control flow graph and path queries.
+ *
+ * IDL has no notion of basic blocks: control flow constraints connect
+ * instructions directly. This class materializes that graph once per
+ * function and answers the reachability-style atomic constraints
+ * ("has control flow to", "all control flow from A to B passes
+ * through C").
+ */
+#ifndef ANALYSIS_CFG_H
+#define ANALYSIS_CFG_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace repro::analysis {
+
+using ir::Function;
+using ir::Instruction;
+using ir::Value;
+
+/** Instruction-level CFG with cached adjacency. */
+class InstCFG
+{
+  public:
+    explicit InstCFG(Function *func);
+
+    Function *function() const { return func_; }
+
+    const std::vector<Instruction *> &
+    successors(const Instruction *inst) const;
+
+    const std::vector<Instruction *> &
+    predecessors(const Instruction *inst) const;
+
+    /** Direct control flow edge a -> b. */
+    bool hasEdge(const Instruction *a, const Instruction *b) const;
+
+    /**
+     * True if some control flow path from @p from to @p to avoids all
+     * instructions in @p without (path interior and endpoints are not
+     * allowed to pass through a member of @p without; the endpoints
+     * themselves are exempt).
+     */
+    bool pathExists(const Instruction *from, const Instruction *to,
+                    const std::set<const Instruction *> &without) const;
+
+  private:
+    Function *func_;
+    std::map<const Instruction *, std::vector<Instruction *>> succ_;
+    std::map<const Instruction *, std::vector<Instruction *>> pred_;
+    std::vector<Instruction *> empty_;
+};
+
+/**
+ * Data-flow path query over SSA def-use edges: does a chain of uses
+ * lead from @p from to @p to without passing through any of
+ * @p without?
+ */
+bool dataPathExists(const Value *from, const Value *to,
+                    const std::set<const Value *> &without);
+
+/**
+ * Combined query over both the def-use graph and the instruction CFG
+ * ("all flow ... is killed by ..." with no data/control qualifier).
+ */
+bool anyFlowPathExists(const InstCFG &cfg, const Value *from,
+                       const Value *to,
+                       const std::set<const Value *> &without);
+
+} // namespace repro::analysis
+
+#endif // ANALYSIS_CFG_H

@@ -1,0 +1,76 @@
+#include "analysis/function_analyses.h"
+
+namespace repro::analysis {
+
+const Value *
+basePointerOf(const Value *addr)
+{
+    while (addr->isInstruction()) {
+        auto *inst = static_cast<const Instruction *>(addr);
+        if (inst->is(ir::Opcode::GEP)) {
+            addr = inst->operand(0);
+        } else {
+            break;
+        }
+    }
+    return addr;
+}
+
+bool
+FunctionAnalyses::hasControlDependenceEdge(const Instruction *branch,
+                                           const Instruction *inst)
+{
+    if (!branch->isConditionalBranch())
+        return false;
+    const DomTree &pdt = postDomTree();
+    const BasicBlock *target_bb = inst->parent();
+    bool some_postdom = false;
+    bool some_not = false;
+    for (ir::BasicBlock *succ : branch->blockTargets()) {
+        if (pdt.dominates(target_bb, succ))
+            some_postdom = true;
+        else
+            some_not = true;
+    }
+    return some_postdom && some_not;
+}
+
+bool
+FunctionAnalyses::hasMemoryDependenceEdge(const Instruction *a,
+                                          const Instruction *b)
+{
+    auto addr_of = [](const Instruction *inst) -> const Value * {
+        if (inst->is(ir::Opcode::Load))
+            return inst->operand(0);
+        if (inst->is(ir::Opcode::Store))
+            return inst->operand(1);
+        return nullptr;
+    };
+    const Value *aa = addr_of(a);
+    const Value *ab = addr_of(b);
+    if (!aa || !ab)
+        return false;
+    if (!a->is(ir::Opcode::Store) && !b->is(ir::Opcode::Store))
+        return false; // two loads never conflict
+    const Value *base_a = basePointerOf(aa);
+    const Value *base_b = basePointerOf(ab);
+    // Distinct allocas cannot alias; otherwise be conservative and
+    // require identical base pointers to *rule out* a dependence only
+    // when both are distinct function arguments is unsound, so report
+    // a dependence unless the bases are provably distinct allocas.
+    auto is_alloca = [](const Value *v) {
+        return v->isInstruction() &&
+               static_cast<const Instruction *>(v)->is(
+                   ir::Opcode::Alloca);
+    };
+    if (is_alloca(base_a) && is_alloca(base_b) && base_a != base_b)
+        return false;
+    if (is_alloca(base_a) != is_alloca(base_b) &&
+        (is_alloca(base_a) || is_alloca(base_b))) {
+        // One side is function-local memory, the other is external.
+        return false;
+    }
+    return true;
+}
+
+} // namespace repro::analysis

@@ -1,0 +1,130 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace repro::analysis {
+
+std::vector<BasicBlock *>
+Loop::exitingBlocks() const
+{
+    std::vector<BasicBlock *> out;
+    for (BasicBlock *bb : blocks) {
+        for (BasicBlock *s : bb->successors()) {
+            if (!contains(s)) {
+                out.push_back(bb);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+BasicBlock *
+Loop::preheader() const
+{
+    BasicBlock *pre = nullptr;
+    for (BasicBlock *p : header->predecessors()) {
+        if (contains(p))
+            continue;
+        if (pre)
+            return nullptr; // several outside predecessors
+        pre = p;
+    }
+    return pre;
+}
+
+LoopInfo::LoopInfo(Function *func, const DomTree &dom)
+{
+    // Find back edges: latch -> header where header dominates latch.
+    for (const auto &bb : func->blocks()) {
+        for (BasicBlock *succ : bb->successors()) {
+            if (!dom.dominates(succ, bb.get()))
+                continue;
+            auto loop = std::make_unique<Loop>();
+            loop->header = succ;
+            loop->latch = bb.get();
+            // Collect the natural loop body by walking predecessors
+            // from the latch until the header.
+            loop->blocks.insert(succ);
+            std::deque<BasicBlock *> queue;
+            if (bb.get() != succ) {
+                loop->blocks.insert(bb.get());
+                queue.push_back(bb.get());
+            }
+            while (!queue.empty()) {
+                BasicBlock *cur = queue.front();
+                queue.pop_front();
+                for (BasicBlock *p : cur->predecessors()) {
+                    if (loop->blocks.insert(p).second)
+                        queue.push_back(p);
+                }
+            }
+            loops_.push_back(std::move(loop));
+        }
+    }
+
+    // Merge loops sharing a header (multiple latches).
+    for (size_t i = 0; i < loops_.size(); ++i) {
+        for (size_t j = i + 1; j < loops_.size();) {
+            if (loops_[i]->header == loops_[j]->header) {
+                loops_[i]->blocks.insert(loops_[j]->blocks.begin(),
+                                         loops_[j]->blocks.end());
+                loops_.erase(loops_.begin() +
+                             static_cast<ptrdiff_t>(j));
+            } else {
+                ++j;
+            }
+        }
+    }
+
+    // Establish nesting: the smallest strict superset is the parent.
+    for (auto &inner : loops_) {
+        Loop *best = nullptr;
+        for (auto &outer : loops_) {
+            if (outer.get() == inner.get())
+                continue;
+            if (!outer->contains(inner->header))
+                continue;
+            if (outer->blocks.size() <= inner->blocks.size())
+                continue;
+            if (!best || outer->blocks.size() < best->blocks.size())
+                best = outer.get();
+        }
+        inner->parent = best;
+        if (best)
+            best->children.push_back(inner.get());
+    }
+    for (auto &loop : loops_) {
+        int d = 1;
+        for (Loop *p = loop->parent; p; p = p->parent)
+            ++d;
+        loop->depth = d;
+    }
+}
+
+Loop *
+LoopInfo::loopFor(const BasicBlock *bb) const
+{
+    Loop *best = nullptr;
+    for (const auto &loop : loops_) {
+        if (!loop->contains(bb))
+            continue;
+        if (!best || loop->blocks.size() < best->blocks.size())
+            best = loop.get();
+    }
+    return best;
+}
+
+std::vector<Loop *>
+LoopInfo::topLevel() const
+{
+    std::vector<Loop *> out;
+    for (const auto &loop : loops_) {
+        if (!loop->parent)
+            out.push_back(loop.get());
+    }
+    return out;
+}
+
+} // namespace repro::analysis

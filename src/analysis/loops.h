@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Natural loop detection on top of the dominator tree.
+ *
+ * Used by the Polly-like and ICC-like baseline detectors and by the
+ * coverage profiler; IDL itself describes loops structurally in the
+ * idiom language.
+ */
+#ifndef ANALYSIS_LOOPS_H
+#define ANALYSIS_LOOPS_H
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "analysis/dominators.h"
+
+namespace repro::analysis {
+
+/** One natural loop: header plus body blocks, nested loops linked. */
+struct Loop
+{
+    BasicBlock *header = nullptr;
+    /** Source of the back edge (latch). */
+    BasicBlock *latch = nullptr;
+    std::set<BasicBlock *> blocks;
+    Loop *parent = nullptr;
+    std::vector<Loop *> children;
+    int depth = 1;
+
+    bool contains(const BasicBlock *bb) const
+    {
+        return blocks.count(const_cast<BasicBlock *>(bb)) > 0;
+    }
+    bool contains(const Instruction *inst) const
+    {
+        return contains(inst->parent());
+    }
+
+    /** Blocks inside the loop with a successor outside. */
+    std::vector<BasicBlock *> exitingBlocks() const;
+
+    /** Unique predecessor of the header outside the loop, if any. */
+    BasicBlock *preheader() const;
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(Function *func, const DomTree &dom);
+
+    const std::vector<std::unique_ptr<Loop>> &loops() const
+    {
+        return loops_;
+    }
+
+    /** Innermost loop containing @p bb; null if none. */
+    Loop *loopFor(const BasicBlock *bb) const;
+
+    /** Outermost loops only. */
+    std::vector<Loop *> topLevel() const;
+
+  private:
+    std::vector<std::unique_ptr<Loop>> loops_;
+};
+
+} // namespace repro::analysis
+
+#endif // ANALYSIS_LOOPS_H

@@ -1,0 +1,54 @@
+#include "benchmarks/coverage.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/function_analyses.h"
+
+namespace repro::benchmarks {
+
+using analysis::Loop;
+
+double
+runtimeCoverage(const std::vector<idioms::IdiomMatch> &matches,
+                const interp::Profile &profile)
+{
+    if (profile.totalSteps == 0)
+        return 0.0;
+
+    // Per-function loop info caches.
+    std::map<ir::Function *, std::unique_ptr<analysis::DomTree>> doms;
+    std::map<ir::Function *, std::unique_ptr<analysis::LoopInfo>> loops;
+
+    std::set<const ir::Instruction *> claimed;
+    for (const auto &match : matches) {
+        ir::Function *func = match.function;
+        if (!loops.count(func)) {
+            doms[func] =
+                std::make_unique<analysis::DomTree>(func, false);
+            loops[func] = std::make_unique<analysis::LoopInfo>(
+                func, *doms[func]);
+        }
+        for (const auto &var : idioms::idiomClaimVars(match.idiom)) {
+            const ir::Value *cmp = match.solution.lookup(var);
+            if (!cmp || !cmp->isInstruction())
+                continue;
+            const auto *inst =
+                static_cast<const ir::Instruction *>(cmp);
+            for (const auto &loop : loops[func]->loops()) {
+                if (loop->header != inst->parent())
+                    continue;
+                for (ir::BasicBlock *bb : loop->blocks) {
+                    for (const auto &i : bb->insts())
+                        claimed.insert(i.get());
+                }
+            }
+        }
+    }
+
+    uint64_t in_idioms = profile.countIn(claimed);
+    return static_cast<double>(in_idioms) /
+           static_cast<double>(profile.totalSteps);
+}
+
+} // namespace repro::benchmarks

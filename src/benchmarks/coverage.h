@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Runtime coverage of detected idioms (the Figure 17 experiment):
+ * fraction of dynamic instructions spent inside matched idiom loops.
+ */
+#ifndef BENCHMARKS_COVERAGE_H
+#define BENCHMARKS_COVERAGE_H
+
+#include <vector>
+
+#include "idioms/library.h"
+#include "interp/interpreter.h"
+
+namespace repro::benchmarks {
+
+/**
+ * Dynamic instructions attributed to the loops claimed by @p matches,
+ * as a fraction of @p profile's total steps (0..1).
+ */
+double runtimeCoverage(const std::vector<idioms::IdiomMatch> &matches,
+                       const interp::Profile &profile);
+
+} // namespace repro::benchmarks
+
+#endif // BENCHMARKS_COVERAGE_H

@@ -1,0 +1,1239 @@
+#include "benchmarks/suite.h"
+
+#include <cmath>
+
+#include "support/diagnostics.h"
+
+namespace repro::benchmarks {
+
+using interp::Memory;
+using interp::RuntimeValue;
+using runtime::WorkProfile;
+using idioms::IdiomClass;
+
+namespace {
+
+RuntimeValue
+I(int64_t v)
+{
+    return RuntimeValue::makeInt(v);
+}
+
+uint64_t
+allocDoubles(Memory &mem, size_t n, double (*f)(size_t))
+{
+    uint64_t addr = mem.allocate(n * 8);
+    for (size_t i = 0; i < n; ++i)
+        mem.store<double>(addr + 8 * i, f(i));
+    return addr;
+}
+
+uint64_t
+allocInts(Memory &mem, size_t n, int32_t (*f)(size_t))
+{
+    uint64_t addr = mem.allocate(n * 4);
+    for (size_t i = 0; i < n; ++i)
+        mem.store<int32_t>(addr + 4 * i, f(i));
+    return addr;
+}
+
+double
+waveA(size_t i)
+{
+    return 0.5 + 0.4 * std::sin(0.1 * static_cast<double>(i));
+}
+
+double
+waveB(size_t i)
+{
+    return 0.3 + 0.01 * static_cast<double>(i % 37);
+}
+
+double
+zeroD(size_t)
+{
+    return 0.0;
+}
+
+int32_t
+zeroI(size_t)
+{
+    return 0;
+}
+
+WorkProfile
+profileOf(IdiomClass cls, double flops, double bytes, double transfer,
+          int invocations, bool lazy, double offload, double parallel,
+          std::set<runtime::Api> apis)
+{
+    WorkProfile p;
+    p.cls = cls;
+    p.flops = flops;
+    p.bytes = bytes;
+    p.transferBytes = transfer;
+    p.invocations = invocations;
+    p.lazyCopyApplicable = lazy;
+    p.offloadFraction = offload;
+    p.parallel = parallel;
+    p.allowedApis = std::move(apis);
+    return p;
+}
+
+// ====================================================== NAS programs
+
+// NAS BT: ADI-style sweeps (memory recurrences) dominate; five
+// solution norms are scalar reductions.
+// Idioms: 5 scalar reductions (1 Polly-visible, 3 ICC-visible).
+const char *kBtSource = R"(
+void bt_main(double *lhs, double *rhs, double *u, double *norms,
+             int n) {
+    for (int sweep = 0; sweep < 12; sweep++)
+        for (int i = 1; i < n; i++)
+            lhs[i] = lhs[i] - 0.3 * lhs[i-1] + 0.1 * rhs[i];
+    double s0 = 0.0;
+    for (int i = 0; i < 512; i++)
+        s0 += rhs[i] * rhs[i];
+    double s1 = 0.0;
+    for (int i = 0; i < n; i++)
+        s1 += u[i] * u[i];
+    double s2 = 0.0;
+    for (int i = 0; i < n; i++)
+        s2 += lhs[i] * u[i];
+    double s3 = 0.0;
+    for (int i = 0; i < n; i++)
+        s3 += fabs(rhs[i]);
+    double m4 = 0.0;
+    for (int i = 0; i < n; i++)
+        m4 = u[i] > m4 ? u[i] : m4;
+    norms[0] = s0; norms[1] = s1; norms[2] = s2;
+    norms[3] = s3; norms[4] = m4;
+}
+)";
+
+// NAS CG: three iterations of a conjugate-gradient step — two CSR
+// SpMVs (Figure 4 of the paper) and three dot-product reductions.
+// Idioms: 2 sparse ops + 3 scalar reductions.
+const char *kCgSource = R"(
+void cg_main(int n, int *rowstr, int *colidx, double *a, double *x,
+             double *z, double *p, double *q, double *r) {
+    for (int it = 0; it < 3; it++) {
+        for (int j = 0; j < n; j++) {
+            double d = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                d = d + a[k] * x[colidx[k]];
+            z[j] = d;
+        }
+        double rho = 0.0;
+        for (int j = 0; j < n; j++)
+            rho += r[j] * r[j];
+        for (int j = 0; j < n; j++)
+            p[j] = r[j] + 0.5 * p[j];
+        for (int j = 0; j < n; j++) {
+            double d = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                d = d + a[k] * p[colidx[k]];
+            q[j] = d;
+        }
+        double alpha = 0.0;
+        for (int j = 0; j < n; j++)
+            alpha += p[j] * q[j];
+        double scale = rho / (alpha + 1.0);
+        for (int j = 0; j < n; j++)
+            x[j] = x[j] + scale * p[j];
+        for (int j = 0; j < n; j++)
+            r[j] = r[j] - scale * q[j];
+        double err = 0.0;
+        for (int j = 0; j < n; j++)
+            err += (x[j] - z[j]) * (x[j] - z[j]);
+        r[0] = r[0] + 0.000001 * err;
+    }
+}
+)";
+
+// NAS DC: data-cube aggregation; tuple ordering is a memory
+// recurrence, two aggregations are reductions (one conditional).
+// Idioms: 2 scalar reductions (1 Polly-visible, 1 ICC-visible).
+const char *kDcSource = R"(
+void dc_main(double *tuples, double *agg, int n) {
+    for (int p = 0; p < 8; p++)
+        for (int i = 1; i < n; i++)
+            tuples[i] = tuples[i] + tuples[i-1] * 0.001;
+    double d0 = 0.0;
+    for (int i = 0; i < 1024; i++)
+        d0 += tuples[i];
+    double d1 = 0.0;
+    for (int i = 0; i < n; i++)
+        if (tuples[i] > 0.5)
+            d1 += tuples[i];
+    agg[0] = d0;
+    agg[1] = d1;
+}
+)";
+
+// NAS EP: LCG deviate generation is a sequential recurrence (about
+// half the runtime); the gaussian tally is a generalized histogram.
+// Idioms: 1 histogram + 1 scalar reduction.
+const char *kEpSource = R"(
+void ep_main(double *xs, double *q, double *sums, int n) {
+    for (int i = 1; i < n; i++) {
+        double t = xs[i-1] * 5477.0 + 0.5;
+        xs[i] = t - floor(t / 4096.0) * 4096.0;
+    }
+    for (int i = 0; i < n; i++) {
+        int l = (int)(xs[i] / 512.0);
+        q[l] += 1.0;
+    }
+    double sx = 0.0;
+    for (int i = 0; i < n; i++)
+        sx += xs[i] > 2048.0 ? xs[i] : 0.0;
+    sums[0] = sx;
+}
+)";
+
+// NAS FT: strided butterfly recurrences plus three checksums.
+// Idioms: 3 scalar reductions (1 Polly-visible, 2 ICC-visible).
+const char *kFtSource = R"(
+void ft_main(double *re, double *im, double *sums, int n) {
+    for (int stage = 1; stage < 6; stage++)
+        for (int i = 0; i < n - 32; i++) {
+            re[i] = re[i] + 0.5 * re[i + 32];
+            im[i] = im[i] - 0.5 * im[i + 32];
+        }
+    double f0 = 0.0;
+    for (int i = 0; i < 1024; i++)
+        f0 += re[i];
+    double f1 = 0.0;
+    for (int i = 0; i < n; i++)
+        f1 += re[i] * im[i];
+    double f2 = 0.0;
+    for (int i = 0; i < n; i++)
+        f2 += sqrt(re[i]*re[i] + im[i]*im[i]);
+    sums[0] = f0; sums[1] = f1; sums[2] = f2;
+}
+)";
+
+// NAS IS: bucket counting (histogram) dominates; rank verification
+// is a plain integer reduction.
+// Idioms: 1 histogram + 1 scalar reduction.
+const char *kIsSource = R"(
+void is_main(int *keys, int *count, int *sums, int n, int nbuckets) {
+    for (int i = 0; i < n; i++)
+        count[keys[i]] += 1;
+    int s = 0;
+    for (int i = 0; i < nbuckets; i++)
+        s += count[i];
+    sums[0] = s;
+}
+)";
+
+// NAS LU: SSOR sweeps are memory recurrences; nine norm/error
+// computations are scalar reductions.
+// Idioms: 9 scalar reductions (5 ICC-visible).
+const char *kLuSource = R"(
+void lu_main(double *rsd, double *u, double *flux, double *norms,
+             int n) {
+    for (int sweep = 0; sweep < 10; sweep++) {
+        for (int i = 1; i < n; i++)
+            rsd[i] = rsd[i] - 0.25 * rsd[i-1] + 0.05 * u[i];
+        for (int i = 1; i < n; i++)
+            flux[i] = flux[i] + 0.125 * flux[i-1];
+    }
+    double v0 = 0.0;
+    for (int i = 0; i < n; i++) v0 += rsd[i];
+    double v1 = 0.0;
+    for (int i = 0; i < n; i++) v1 += rsd[i] * rsd[i];
+    double v2 = 0.0;
+    for (int i = 0; i < n; i++) v2 += rsd[i] * u[i];
+    double v3 = 0.0;
+    for (int i = 0; i < n; i++) v3 += u[i];
+    double v4 = 0.0;
+    for (int i = 0; i < n; i++) v4 += u[i] * u[i];
+    double v5 = 0.0;
+    for (int i = 0; i < n; i++) v5 += fabs(rsd[i]);
+    double v6 = 0.0;
+    for (int i = 0; i < n; i++) v6 = flux[i] > v6 ? flux[i] : v6;
+    double v7 = 0.0;
+    for (int i = 0; i < n; i++)
+        if (u[i] > 0.0)
+            v7 += u[i];
+    double v8 = 0.0;
+    for (int i = 0; i < n; i++) v8 += sqrt(flux[i]*flux[i] + 1.0);
+    norms[0]=v0; norms[1]=v1; norms[2]=v2; norms[3]=v3; norms[4]=v4;
+    norms[5]=v5; norms[6]=v6; norms[7]=v7; norms[8]=v8;
+}
+)";
+
+// NAS MG: the residual operator is a 7-point 3D stencil on a
+// flattened grid; the convergence check is a reduction.
+// Idioms: 1 stencil + 1 scalar reduction.
+const char *kMgSource = R"(
+void mg_main(double *u, double *v, double *r, double *sums,
+             int n1, int n2, int n3) {
+    for (int k = 1; k < n3 - 1; k++)
+      for (int j = 1; j < n2 - 1; j++)
+        for (int i = 1; i < n1 - 1; i++)
+          r[i + n1*(j + n2*k)] = v[i + n1*(j + n2*k)]
+            - 0.8 * u[i + n1*(j + n2*k)]
+            + 0.1 * (u[(i-1) + n1*(j + n2*k)] + u[(i+1) + n1*(j + n2*k)]
+                   + u[i + n1*((j-1) + n2*k)] + u[i + n1*((j+1) + n2*k)])
+            + 0.05 * (u[i + n1*(j + n2*(k-1))]
+                    + u[i + n1*(j + n2*(k+1))]);
+    double s = 0.0;
+    for (int i = 0; i < n1*n2*n3; i++)
+        s += r[i] * r[i];
+    sums[0] = sqrt(s);
+}
+)";
+
+// NAS SP: like BT — ADI recurrences plus five norms.
+// Idioms: 5 scalar reductions (3 ICC-visible).
+const char *kSpSource = R"(
+void sp_main(double *lhs, double *rhs, double *speed, double *norms,
+             int n) {
+    for (int sweep = 0; sweep < 12; sweep++)
+        for (int i = 1; i < n; i++)
+            lhs[i] = lhs[i] - 0.2 * lhs[i-1] + 0.15 * rhs[i];
+    double s0 = 0.0;
+    for (int i = 0; i < n; i++) s0 += rhs[i] * rhs[i];
+    double s1 = 0.0;
+    for (int i = 0; i < n; i++) s1 += speed[i];
+    double s2 = 0.0;
+    for (int i = 0; i < n; i++) s2 += speed[i] * rhs[i];
+    double s3 = 0.0;
+    for (int i = 0; i < n; i++) s3 += fabs(lhs[i]);
+    double s4 = 0.0;
+    for (int i = 0; i < n; i++) s4 = speed[i] > s4 ? speed[i] : s4;
+    norms[0]=s0; norms[1]=s1; norms[2]=s2; norms[3]=s3; norms[4]=s4;
+}
+)";
+
+// NAS UA: unstructured adaptive mesh — pointer-chasing recurrences
+// plus six elementwise norms.
+// Idioms: 6 scalar reductions (4 ICC-visible).
+const char *kUaSource = R"(
+void ua_main(double *mass, double *res, double *tmort, double *norms,
+             int n) {
+    for (int pass = 0; pass < 10; pass++)
+        for (int i = 1; i < n; i++)
+            tmort[i] = tmort[i] * 0.99 + tmort[i-1] * 0.01
+                     + mass[i] * 0.001;
+    double a0 = 0.0;
+    for (int i = 0; i < n; i++) a0 += mass[i];
+    double a1 = 0.0;
+    for (int i = 0; i < n; i++) a1 += res[i] * res[i];
+    double a2 = 0.0;
+    for (int i = 0; i < n; i++) a2 += mass[i] * res[i];
+    double a3 = 0.0;
+    for (int i = 0; i < n; i++) a3 += sqrt(tmort[i] * tmort[i] + 1.0);
+    double a4 = 0.0;
+    for (int i = 0; i < n; i++) a4 += fabs(res[i]);
+    double a5 = 0.0;
+    for (int i = 0; i < n; i++) a5 = res[i] > a5 ? res[i] : a5;
+    norms[0]=a0; norms[1]=a1; norms[2]=a2; norms[3]=a3; norms[4]=a4;
+    norms[5]=a5;
+}
+)";
+
+// ================================================== Parboil programs
+
+// Parboil bfs: frontier expansion has data-dependent control and
+// indirect writes; only the visited count is a reduction.
+// Idioms: 1 scalar reduction.
+const char *kBfsSource = R"(
+void bfs_main(int *edges, int *visited, int *frontier, int *sums,
+              int n) {
+    for (int pass = 0; pass < 4; pass++)
+        for (int i = 0; i < n; i++) {
+            int v = edges[i];
+            if (visited[v] == 0) {
+                visited[v] = 1;
+                frontier[i] = v;
+            }
+        }
+    int cnt = 0;
+    for (int i = 0; i < n; i++)
+        cnt += visited[i];
+    sums[0] = cnt;
+}
+)";
+
+// Parboil cutcp: the grid sweep dominates; the per-cell potential
+// accumulation over atoms is a (call-carrying) reduction.
+// Idioms: 1 scalar reduction.
+const char *kCutcpSource = R"(
+void cutcp_main(double *atoms, double *grid, double *scratch,
+                int natoms, int gdim, int nscratch) {
+    for (int pass = 0; pass < 6; pass++)
+        for (int i = 1; i < nscratch; i++)
+            scratch[i] = scratch[i] * 0.75 + scratch[i-1] * 0.25;
+    for (int j = 0; j < gdim; j++) {
+        for (int k = 0; k < gdim; k++) {
+            double dist = (double)(j * j + k * k) + 1.0;
+            double pot = 0.0;
+            for (int a = 0; a < natoms; a++)
+                pot += 1.0 / sqrt(atoms[a] * atoms[a] + dist);
+            grid[j * gdim + k] = pot;
+        }
+    }
+}
+)";
+
+// Parboil histo: a saturating image histogram plus a second
+// histogram over the first one's output.
+// Idioms: 2 histogram reductions.
+const char *kHistoSource = R"(
+void histo_main(int *img, int *bins, int *final, int n, int nbins) {
+    for (int i = 0; i < n; i++) {
+        int v = img[i];
+        if (bins[v] < 255)
+            bins[v] += 1;
+    }
+    for (int i = 0; i < nbins; i++)
+        final[bins[i] & 7] += 1;
+}
+)";
+
+// Parboil lbm: three lattice sweeps, each a 3D stencil over a
+// flattened grid with literal dimensions (Polly-friendly).
+// Idioms: 3 stencils.
+const char *kLbmSource = R"(
+void lbm_main(double *f0, double *f1, double *f2) {
+    for (int k = 1; k < 11; k++)
+      for (int j = 1; j < 11; j++)
+        for (int i = 1; i < 11; i++)
+          f1[i + 12*(j + 12*k)] =
+              0.6 * f0[i + 12*(j + 12*k)]
+            + 0.1 * (f0[(i-1) + 12*(j + 12*k)]
+                   + f0[(i+1) + 12*(j + 12*k)])
+            + 0.1 * (f0[i + 12*((j-1) + 12*k)]
+                   + f0[i + 12*((j+1) + 12*k)]);
+    for (int k = 1; k < 11; k++)
+      for (int j = 1; j < 11; j++)
+        for (int i = 1; i < 11; i++)
+          f2[i + 12*(j + 12*k)] =
+              f1[i + 12*(j + 12*k)]
+            - 0.05 * (f1[i + 12*(j + 12*(k-1))]
+                    + f1[i + 12*(j + 12*(k+1))]);
+    for (int k = 1; k < 11; k++)
+      for (int j = 1; j < 11; j++)
+        for (int i = 1; i < 11; i++)
+          f0[i + 12*(j + 12*k)] =
+              0.9 * f2[i + 12*(j + 12*k)]
+            + 0.025 * (f2[(i-1) + 12*(j + 12*k)]
+                     + f2[(i+1) + 12*(j + 12*k)]
+                     + f2[i + 12*((j-1) + 12*k)]
+                     + f2[i + 12*((j+1) + 12*k)]);
+}
+)";
+
+// Parboil mri-gridding: the binning pass is a memory recurrence; two
+// density corrections are plain reductions.
+// Idioms: 2 scalar reductions.
+const char *kMriGSource = R"(
+void mrig_main(double *samples, double *dens, double *sums, int n) {
+    for (int pass = 0; pass < 8; pass++)
+        for (int i = 1; i < n; i++)
+            dens[i] = dens[i] * 0.9 + dens[i-1] * 0.1
+                    + samples[i] * 0.01;
+    double g0 = 0.0;
+    for (int i = 0; i < n; i++) g0 += dens[i];
+    double g1 = 0.0;
+    for (int i = 0; i < n; i++) g1 += dens[i] * samples[i];
+    sums[0] = g0; sums[1] = g1;
+}
+)";
+
+// Parboil mri-q: per-voxel Q accumulation over samples — two inner
+// dot-product style reductions.
+// Idioms: 2 scalar reductions.
+const char *kMriQSource = R"(
+void mriq_main(double *phir, double *phii, double *kx, double *qr,
+               double *qi, int nvox, int nsamp) {
+    for (int pass = 0; pass < 40; pass++)
+        for (int s = 1; s < nsamp; s++)
+            kx[s] = kx[s] * 0.9 + kx[s-1] * 0.1 + phir[s] * 0.01;
+    for (int v = 0; v < nvox; v++) {
+        double sr = 0.0;
+        for (int s = 0; s < nsamp; s++)
+            sr += phir[s] * kx[s];
+        double si = 0.0;
+        for (int s = 0; s < nsamp; s++)
+            si += phii[s] * kx[s];
+        qr[v] = sr * (double)(v + 1);
+        qi[v] = si * (double)(v + 2);
+    }
+}
+)";
+
+// Parboil sad: sum of absolute differences via compare/select; the
+// search bookkeeping is sequential.
+// Idioms: 1 scalar reduction.
+const char *kSadSource = R"(
+void sad_main(int *cur, int *ref, int *best, int n) {
+    for (int pass = 0; pass < 6; pass++)
+        for (int i = 1; i < n; i++)
+            ref[i] = ref[i] - (ref[i-1] / 2) + (cur[i] / 4);
+    int s = 0;
+    for (int i = 0; i < n; i++)
+        s += cur[i] > ref[i] ? cur[i] - ref[i] : ref[i] - cur[i];
+    best[0] = s;
+}
+)";
+
+// Parboil sgemm: the strided single-precision GEMM of Figure 8.
+// Idioms: 1 matrix op.
+const char *kSgemmSource = R"(
+void sgemm_main(float *A, int lda, float *B, int ldb, float *C,
+                int ldc, int m, int n, int k,
+                float alpha, float beta) {
+    for (int mm = 0; mm < m; mm++) {
+        for (int nn = 0; nn < n; nn++) {
+            float c = 0.0f;
+            for (int i = 0; i < k; i++) {
+                float a = A[mm + i * lda];
+                float b = B[nn + i * ldb];
+                c += a * b;
+            }
+            C[mm+nn*ldc] = C[mm+nn*ldc] * beta + alpha * c;
+        }
+    }
+}
+)";
+
+// Parboil spmv: row-compressed matrix-vector product (the paper uses
+// a custom libSPMV for its padded format; the access structure is the
+// same CSR gather).
+// Idioms: 1 sparse op.
+const char *kSpmvSource = R"(
+void spmv_main(int n, int *rowstr, int *colidx, double *val,
+               double *x, double *y) {
+    for (int it = 0; it < 4; it++)
+        for (int j = 0; j < n; j++) {
+            double d = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                d = d + val[k] * x[colidx[k]];
+            y[j] = d;
+        }
+}
+)";
+
+// Parboil stencil: two 7-point Jacobi sweeps with literal bounds.
+// Idioms: 2 stencils.
+const char *kStencilSource = R"(
+void stencil_main(double *a0, double *a1) {
+    for (int k = 1; k < 11; k++)
+      for (int j = 1; j < 11; j++)
+        for (int i = 1; i < 11; i++)
+          a1[i + 12*(j + 12*k)] =
+              0.4 * (a0[(i+1) + 12*(j + 12*k)]
+                   + a0[(i-1) + 12*(j + 12*k)]
+                   + a0[i + 12*((j+1) + 12*k)]
+                   + a0[i + 12*((j-1) + 12*k)]
+                   + a0[i + 12*(j + 12*(k+1))]
+                   + a0[i + 12*(j + 12*(k-1))])
+            - 1.4 * a0[i + 12*(j + 12*k)];
+    for (int k = 1; k < 11; k++)
+      for (int j = 1; j < 11; j++)
+        for (int i = 1; i < 11; i++)
+          a0[i + 12*(j + 12*k)] =
+              0.4 * (a1[(i+1) + 12*(j + 12*k)]
+                   + a1[(i-1) + 12*(j + 12*k)]
+                   + a1[i + 12*((j+1) + 12*k)]
+                   + a1[i + 12*((j-1) + 12*k)]
+                   + a1[i + 12*(j + 12*(k+1))]
+                   + a1[i + 12*(j + 12*(k-1))])
+            - 1.4 * a1[i + 12*(j + 12*k)];
+}
+)";
+
+// Parboil tpacf: angular-correlation histogram plus two moment sums.
+// Idioms: 1 histogram + 2 scalar reductions.
+const char *kTpacfSource = R"(
+void tpacf_main(double *dd, int *hist, double *sums, int n) {
+    for (int i = 0; i < n; i++) {
+        double d = dd[i];
+        int bin = (int)(d * d * 8.0);
+        hist[bin] += 1;
+    }
+    double m1 = 0.0;
+    for (int i = 0; i < n; i++)
+        m1 += fabs(dd[i]);
+    double m2 = 0.0;
+    for (int i = 0; i < n; i++)
+        m2 += dd[i] > 0.5 ? dd[i] : 0.0;
+    sums[0] = m1; sums[1] = m2;
+}
+)";
+
+std::vector<BenchmarkProgram>
+buildSuite()
+{
+    std::vector<BenchmarkProgram> all;
+
+    // ------------------------------------------------------------ BT
+    {
+        BenchmarkProgram b;
+        b.name = "BT";
+        b.suite = "NAS";
+        b.source = kBtSource;
+        b.entry = "bt_main";
+        b.expected = {5, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1200;
+            Instance inst;
+            uint64_t lhs = allocDoubles(mem, n, waveA);
+            uint64_t rhs = allocDoubles(mem, n, waveB);
+            uint64_t u = allocDoubles(mem, n, waveA);
+            uint64_t norms = allocDoubles(mem, 5, zeroD);
+            inst.args = {I(lhs), I(rhs), I(u), I(norms), I(n)};
+            inst.watchDoubles = {{lhs, n}, {norms, 5}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 40e6, 320e6,
+                              80e6, 200, false, 0.15, 1.0, {});
+        b.refAlgoFactor = 3.0;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ CG
+    {
+        BenchmarkProgram b;
+        b.name = "CG";
+        b.suite = "NAS";
+        b.source = kCgSource;
+        b.entry = "cg_main";
+        b.expected = {3, 0, 0, 0, 2};
+        b.setup = [](Memory &mem) {
+            const int n = 600;
+            Instance inst;
+            // Banded CSR matrix, about 5 entries per row.
+            std::vector<int32_t> rowstr_v{0};
+            std::vector<int32_t> colidx_v;
+            std::vector<double> a_v;
+            for (int i = 0; i < n; ++i) {
+                for (int d = -2; d <= 2; ++d) {
+                    int j = i + d;
+                    if (j < 0 || j >= n || (d != 0 && (i + d) % 3 == 0))
+                        continue;
+                    colidx_v.push_back(j);
+                    a_v.push_back(1.0 + 0.01 * ((i * 7 + j) % 50));
+                }
+                rowstr_v.push_back(
+                    static_cast<int32_t>(colidx_v.size()));
+            }
+            uint64_t rowstr = mem.allocate(rowstr_v.size() * 4);
+            for (size_t i = 0; i < rowstr_v.size(); ++i)
+                mem.store<int32_t>(rowstr + 4 * i, rowstr_v[i]);
+            uint64_t colidx = mem.allocate(colidx_v.size() * 4);
+            for (size_t i = 0; i < colidx_v.size(); ++i)
+                mem.store<int32_t>(colidx + 4 * i, colidx_v[i]);
+            uint64_t a = mem.allocate(a_v.size() * 8);
+            for (size_t i = 0; i < a_v.size(); ++i)
+                mem.store<double>(a + 8 * i, a_v[i]);
+            uint64_t x = allocDoubles(mem, n, waveA);
+            uint64_t z = allocDoubles(mem, n, zeroD);
+            uint64_t p = allocDoubles(mem, n, waveB);
+            uint64_t q = allocDoubles(mem, n, zeroD);
+            uint64_t r = allocDoubles(mem, n, waveA);
+            inst.args = {I(n), I(rowstr), I(colidx), I(a), I(x),
+                         I(z), I(p), I(q), I(r)};
+            inst.watchDoubles = {{z, n}, {q, n}, {x, n}, {r, n}};
+            return inst;
+        };
+        // Class-B-like: nnz ~2e6, ~1.9s sequential, iterative solver
+        // with resident data (lazy copy applicable).
+        // Class-B-like CG: bandwidth-bound CSR gather, resident on
+        // the device across ~400 solver iterations.
+        b.profile = profileOf(
+            IdiomClass::SparseMatrixOp, 5e6, 25e6, 0.4e9, 400, true,
+            0.98, 1.0,
+            {runtime::Api::MKL, runtime::Api::ClSPARSE,
+             runtime::Api::CuSPARSE});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ DC
+    {
+        BenchmarkProgram b;
+        b.name = "DC";
+        b.suite = "NAS";
+        b.source = kDcSource;
+        b.entry = "dc_main";
+        b.expected = {2, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1500;
+            Instance inst;
+            uint64_t tuples = allocDoubles(mem, n, waveA);
+            uint64_t agg = allocDoubles(mem, 2, zeroD);
+            inst.args = {I(tuples), I(agg), I(n)};
+            inst.watchDoubles = {{tuples, n}, {agg, 2}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 8e6, 64e6,
+                              32e6, 100, false, 0.13, 1.0, {});
+        b.refAlgoFactor = 2.0;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ EP
+    {
+        BenchmarkProgram b;
+        b.name = "EP";
+        b.suite = "NAS";
+        b.source = kEpSource;
+        b.entry = "ep_main";
+        b.expected = {1, 1, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1500;
+            Instance inst;
+            uint64_t xs = allocDoubles(mem, n, [](size_t i) {
+                return i == 0 ? 1234.5 : 0.0;
+            });
+            uint64_t q = allocDoubles(mem, 16, zeroD);
+            uint64_t sums = allocDoubles(mem, 1, zeroD);
+            inst.args = {I(xs), I(q), I(sums), I(n)};
+            inst.watchDoubles = {{q, 16}, {sums, 1}};
+            return inst;
+        };
+        // Compute heavy; only half the runtime is the tally
+        // (Figure 17), the deviate recurrence stays serial.
+        b.profile = profileOf(IdiomClass::HistogramReduction, 48e9,
+                              8e9, 17e6, 1, false, 0.5, 0.284,
+                              {runtime::Api::Lift});
+        b.refAlgoFactor = 8.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ FT
+    {
+        BenchmarkProgram b;
+        b.name = "FT";
+        b.suite = "NAS";
+        b.source = kFtSource;
+        b.entry = "ft_main";
+        b.expected = {3, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1400;
+            Instance inst;
+            uint64_t re = allocDoubles(mem, n, waveA);
+            uint64_t im = allocDoubles(mem, n, waveB);
+            uint64_t sums = allocDoubles(mem, 3, zeroD);
+            inst.args = {I(re), I(im), I(sums), I(n)};
+            inst.watchDoubles = {{re, n}, {im, n}, {sums, 3}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 30e6, 240e6,
+                              120e6, 60, false, 0.23, 1.0, {});
+        b.refAlgoFactor = 2.5;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ IS
+    {
+        BenchmarkProgram b;
+        b.name = "IS";
+        b.suite = "NAS";
+        b.source = kIsSource;
+        b.entry = "is_main";
+        b.expected = {1, 1, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 4000;
+            const int nbuckets = 64;
+            Instance inst;
+            uint64_t keys = allocInts(mem, n, [](size_t i) {
+                return static_cast<int32_t>((i * 37 + i / 5) % 64);
+            });
+            uint64_t count = allocInts(mem, nbuckets, zeroI);
+            uint64_t sums = allocInts(mem, 1, zeroI);
+            inst.args = {I(keys), I(count), I(sums), I(n),
+                         I(nbuckets)};
+            inst.watchInts = {{count, nbuckets}, {sums, 1}};
+            return inst;
+        };
+        // Memory bound bucket counting.
+        b.profile = profileOf(IdiomClass::HistogramReduction, 0.3e9,
+                              3.6e9, 0.6e9, 1, false, 0.95, 0.8,
+                              {runtime::Api::Halide,
+                               runtime::Api::Lift});
+        b.refAlgoFactor = 10.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ LU
+    {
+        BenchmarkProgram b;
+        b.name = "LU";
+        b.suite = "NAS";
+        b.source = kLuSource;
+        b.entry = "lu_main";
+        b.expected = {9, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1100;
+            Instance inst;
+            uint64_t rsd = allocDoubles(mem, n, waveA);
+            uint64_t u = allocDoubles(mem, n, waveB);
+            uint64_t flux = allocDoubles(mem, n, waveA);
+            uint64_t norms = allocDoubles(mem, 9, zeroD);
+            inst.args = {I(rsd), I(u), I(flux), I(norms), I(n)};
+            inst.watchDoubles = {{rsd, n}, {flux, n}, {norms, 9}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 60e6, 500e6,
+                              160e6, 250, false, 0.22, 1.0, {});
+        b.refAlgoFactor = 3.5;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ MG
+    {
+        BenchmarkProgram b;
+        b.name = "MG";
+        b.suite = "NAS";
+        b.source = kMgSource;
+        b.entry = "mg_main";
+        b.expected = {1, 0, 1, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n1 = 12, n2 = 12, n3 = 12;
+            const int total = n1 * n2 * n3;
+            Instance inst;
+            uint64_t u = allocDoubles(mem, total, waveA);
+            uint64_t v = allocDoubles(mem, total, waveB);
+            uint64_t r = allocDoubles(mem, total, zeroD);
+            uint64_t sums = allocDoubles(mem, 1, zeroD);
+            inst.args = {I(u), I(v), I(r), I(sums), I(n1), I(n2),
+                         I(n3)};
+            inst.watchDoubles = {{r, static_cast<size_t>(total)},
+                                 {sums, 1}};
+            return inst;
+        };
+        // Stencil-heavy V-cycles; mid-size grids favour the iGPU
+        // (paper: per-cycle transfers dominate the external GPU).
+        b.profile = profileOf(IdiomClass::Stencil, 0.15e9, 0.5e9,
+                              0.56e9, 40, false, 0.95, 0.75,
+                              {runtime::Api::Lift});
+        b.refAlgoFactor = 6.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ SP
+    {
+        BenchmarkProgram b;
+        b.name = "SP";
+        b.suite = "NAS";
+        b.source = kSpSource;
+        b.entry = "sp_main";
+        b.expected = {5, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1200;
+            Instance inst;
+            uint64_t lhs = allocDoubles(mem, n, waveB);
+            uint64_t rhs = allocDoubles(mem, n, waveA);
+            uint64_t speed = allocDoubles(mem, n, waveB);
+            uint64_t norms = allocDoubles(mem, 5, zeroD);
+            inst.args = {I(lhs), I(rhs), I(speed), I(norms), I(n)};
+            inst.watchDoubles = {{lhs, n}, {norms, 5}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 50e6, 400e6,
+                              140e6, 220, false, 0.19, 1.0, {});
+        b.refAlgoFactor = 3.0;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------------ UA
+    {
+        BenchmarkProgram b;
+        b.name = "UA";
+        b.suite = "NAS";
+        b.source = kUaSource;
+        b.entry = "ua_main";
+        b.expected = {6, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 1200;
+            Instance inst;
+            uint64_t mass = allocDoubles(mem, n, waveA);
+            uint64_t res = allocDoubles(mem, n, waveB);
+            uint64_t tmort = allocDoubles(mem, n, waveA);
+            uint64_t norms = allocDoubles(mem, 6, zeroD);
+            inst.args = {I(mass), I(res), I(tmort), I(norms), I(n)};
+            inst.watchDoubles = {{tmort, n}, {norms, 6}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 70e6, 560e6,
+                              180e6, 300, false, 0.25, 1.0, {});
+        b.refAlgoFactor = 3.0;
+        all.push_back(std::move(b));
+    }
+
+    // ----------------------------------------------------------- bfs
+    {
+        BenchmarkProgram b;
+        b.name = "bfs";
+        b.suite = "Parboil";
+        b.source = kBfsSource;
+        b.entry = "bfs_main";
+        b.expected = {1, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 2000;
+            Instance inst;
+            uint64_t edges = allocInts(mem, n, [](size_t i) {
+                return static_cast<int32_t>((i * 131 + 7) % 2000);
+            });
+            uint64_t visited = allocInts(mem, n, zeroI);
+            uint64_t frontier = allocInts(mem, n, zeroI);
+            uint64_t sums = allocInts(mem, 1, zeroI);
+            inst.args = {I(edges), I(visited), I(frontier), I(sums),
+                         I(n)};
+            inst.watchInts = {{visited, n}, {sums, 1}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 4e6, 60e6,
+                              24e6, 40, false, 0.14, 1.0, {});
+        b.refAlgoFactor = 2.0;
+        all.push_back(std::move(b));
+    }
+
+    // --------------------------------------------------------- cutcp
+    {
+        BenchmarkProgram b;
+        b.name = "cutcp";
+        b.suite = "Parboil";
+        b.source = kCutcpSource;
+        b.entry = "cutcp_main";
+        b.expected = {1, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int natoms = 150, gdim = 4, nscratch = 6000;
+            Instance inst;
+            uint64_t atoms = allocDoubles(mem, natoms, waveA);
+            uint64_t grid =
+                allocDoubles(mem, gdim * gdim, zeroD);
+            uint64_t scratch = allocDoubles(mem, nscratch, waveB);
+            inst.args = {I(atoms), I(grid), I(scratch), I(natoms),
+                         I(gdim), I(nscratch)};
+            inst.watchDoubles = {
+                {grid, static_cast<size_t>(gdim * gdim)},
+                {scratch, nscratch}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 20e6, 30e6,
+                              15e6, 30, false, 0.06, 1.0, {});
+        b.refAlgoFactor = 4.0;
+        all.push_back(std::move(b));
+    }
+
+    // --------------------------------------------------------- histo
+    {
+        BenchmarkProgram b;
+        b.name = "histo";
+        b.suite = "Parboil";
+        b.source = kHistoSource;
+        b.entry = "histo_main";
+        b.expected = {0, 2, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 4000, nbins = 96;
+            Instance inst;
+            uint64_t img = allocInts(mem, n, [](size_t i) {
+                return static_cast<int32_t>((i * 53 + i / 7) % 96);
+            });
+            uint64_t bins = allocInts(mem, nbins, zeroI);
+            uint64_t fin = allocInts(mem, 8, zeroI);
+            inst.args = {I(img), I(bins), I(fin), I(n), I(nbins)};
+            inst.watchInts = {{bins, nbins}, {fin, 8}};
+            return inst;
+        };
+        // Small working set: the integrated GPU wins (Table 3).
+        b.profile = profileOf(IdiomClass::HistogramReduction, 0.05e9,
+                              0.19e9, 0.24e9, 1, false, 0.9, 1.0,
+                              {runtime::Api::Lift});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ----------------------------------------------------------- lbm
+    {
+        BenchmarkProgram b;
+        b.name = "lbm";
+        b.suite = "Parboil";
+        b.source = kLbmSource;
+        b.entry = "lbm_main";
+        b.expected = {0, 0, 3, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int total = 12 * 12 * 12;
+            Instance inst;
+            uint64_t f0 = allocDoubles(mem, total, waveA);
+            uint64_t f1 = allocDoubles(mem, total, zeroD);
+            uint64_t f2 = allocDoubles(mem, total, zeroD);
+            inst.args = {I(f0), I(f1), I(f2)};
+            inst.watchDoubles = {{f0, total}, {f1, total},
+                                 {f2, total}};
+            return inst;
+        };
+        // Iterative lattice updates: lazy copying essential.
+        b.profile = profileOf(IdiomClass::Stencil, 0.12e9, 0.433e9,
+                              0.56e9, 120, true, 0.98, 1.0,
+                              {runtime::Api::Lift});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ---------------------------------------------------------- mri-g
+    {
+        BenchmarkProgram b;
+        b.name = "mri-g";
+        b.suite = "Parboil";
+        b.source = kMriGSource;
+        b.entry = "mrig_main";
+        b.expected = {2, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 2500;
+            Instance inst;
+            uint64_t samples = allocDoubles(mem, n, waveA);
+            uint64_t dens = allocDoubles(mem, n, waveB);
+            uint64_t sums = allocDoubles(mem, 2, zeroD);
+            inst.args = {I(samples), I(dens), I(sums), I(n)};
+            inst.watchDoubles = {{dens, n}, {sums, 2}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 15e6, 120e6,
+                              60e6, 50, false, 0.11, 1.0, {});
+        b.refAlgoFactor = 2.0;
+        all.push_back(std::move(b));
+    }
+
+    // ---------------------------------------------------------- mri-q
+    {
+        BenchmarkProgram b;
+        b.name = "mri-q";
+        b.suite = "Parboil";
+        b.source = kMriQSource;
+        b.entry = "mriq_main";
+        b.expected = {2, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int nvox = 40, nsamp = 60;
+            Instance inst;
+            uint64_t phir = allocDoubles(mem, nsamp, waveA);
+            uint64_t phii = allocDoubles(mem, nsamp, waveB);
+            uint64_t kx = allocDoubles(mem, nsamp, waveA);
+            uint64_t qr = allocDoubles(mem, nvox, zeroD);
+            uint64_t qi = allocDoubles(mem, nvox, zeroD);
+            inst.args = {I(phir), I(phii), I(kx), I(qr), I(qi),
+                         I(nvox), I(nsamp)};
+            inst.watchDoubles = {{qr, nvox}, {qi, nvox},
+                                 {kx, nsamp}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 30e6, 50e6,
+                              20e6, 20, false, 0.3, 1.0, {});
+        b.refAlgoFactor = 3.0;
+        all.push_back(std::move(b));
+    }
+
+    // ----------------------------------------------------------- sad
+    {
+        BenchmarkProgram b;
+        b.name = "sad";
+        b.suite = "Parboil";
+        b.source = kSadSource;
+        b.entry = "sad_main";
+        b.expected = {1, 0, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 2500;
+            Instance inst;
+            uint64_t cur = allocInts(mem, n, [](size_t i) {
+                return static_cast<int32_t>((i * 31) % 255);
+            });
+            uint64_t ref = allocInts(mem, n, [](size_t i) {
+                return static_cast<int32_t>((i * 17 + 9) % 255);
+            });
+            uint64_t best = allocInts(mem, 1, zeroI);
+            inst.args = {I(cur), I(ref), I(best), I(n)};
+            inst.watchInts = {{ref, n}, {best, 1}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::ScalarReduction, 10e6, 80e6,
+                              30e6, 40, false, 0.17, 1.0, {});
+        b.refAlgoFactor = 2.0;
+        all.push_back(std::move(b));
+    }
+
+    // --------------------------------------------------------- sgemm
+    {
+        BenchmarkProgram b;
+        b.name = "sgemm";
+        b.suite = "Parboil";
+        b.source = kSgemmSource;
+        b.entry = "sgemm_main";
+        b.expected = {0, 0, 0, 1, 0};
+        b.setup = [](Memory &mem) {
+            const int m = 20, n = 18, k = 22;
+            Instance inst;
+            uint64_t A = mem.allocate(m * k * 4);
+            for (int i = 0; i < m * k; ++i)
+                mem.store<float>(A + 4 * i, 0.01f * (i % 97));
+            uint64_t B = mem.allocate(n * k * 4);
+            for (int i = 0; i < n * k; ++i)
+                mem.store<float>(B + 4 * i, 0.02f * (i % 83));
+            uint64_t C = mem.allocate(m * n * 4);
+            for (int i = 0; i < m * n; ++i)
+                mem.store<float>(C + 4 * i, 1.0f);
+            inst.args = {I(A), I(m), I(B), I(n), I(C), I(m),
+                         I(m), I(n), I(k),
+                         RuntimeValue::makeFP(1.5),
+                         RuntimeValue::makeFP(0.25)};
+            // C compared as raw floats through the int watch (4-byte
+            // patterns are bit-exact across runs).
+            inst.watchInts = {
+                {C, static_cast<size_t>(m * n)}};
+            return inst;
+        };
+        // O(n^3) compute; cuBLAS reaches >275x (Table 3).
+        b.profile = profileOf(IdiomClass::MatrixOp, 3.96e9, 100e6,
+                              50e6, 1, false, 0.998, 1.0,
+                              {runtime::Api::MKL, runtime::Api::ClBLAS,
+                               runtime::Api::CLBlast,
+                               runtime::Api::Lift,
+                               runtime::Api::CuBLAS});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ---------------------------------------------------------- spmv
+    {
+        BenchmarkProgram b;
+        b.name = "spmv";
+        b.suite = "Parboil";
+        b.source = kSpmvSource;
+        b.entry = "spmv_main";
+        b.expected = {0, 0, 0, 0, 1};
+        b.setup = [](Memory &mem) {
+            const int n = 500;
+            Instance inst;
+            std::vector<int32_t> rowstr_v{0};
+            std::vector<int32_t> colidx_v;
+            std::vector<double> val_v;
+            for (int i = 0; i < n; ++i) {
+                for (int d = -3; d <= 3; ++d) {
+                    int j = i + d;
+                    if (j < 0 || j >= n || (d != 0 && (i * 3 + d) % 4 == 0))
+                        continue;
+                    colidx_v.push_back(j);
+                    val_v.push_back(0.5 + 0.01 * ((i + j) % 70));
+                }
+                rowstr_v.push_back(
+                    static_cast<int32_t>(colidx_v.size()));
+            }
+            uint64_t rowstr = mem.allocate(rowstr_v.size() * 4);
+            for (size_t i = 0; i < rowstr_v.size(); ++i)
+                mem.store<int32_t>(rowstr + 4 * i, rowstr_v[i]);
+            uint64_t colidx = mem.allocate(colidx_v.size() * 4);
+            for (size_t i = 0; i < colidx_v.size(); ++i)
+                mem.store<int32_t>(colidx + 4 * i, colidx_v[i]);
+            uint64_t val = mem.allocate(val_v.size() * 8);
+            for (size_t i = 0; i < val_v.size(); ++i)
+                mem.store<double>(val + 8 * i, val_v[i]);
+            uint64_t x = allocDoubles(mem, n, waveA);
+            uint64_t y = allocDoubles(mem, n, zeroD);
+            inst.args = {I(n), I(rowstr), I(colidx), I(val), I(x),
+                         I(y)};
+            inst.watchDoubles = {{y, n}};
+            return inst;
+        };
+        // Unusual padded format: the custom libSPMV serves all
+        // three platforms (section 8.3).
+        b.profile = profileOf(IdiomClass::SparseMatrixOp, 9e6, 44e6,
+                              45e6, 50, true, 0.95, 1.0,
+                              {runtime::Api::LibSPMV});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // ------------------------------------------------------- stencil
+    {
+        BenchmarkProgram b;
+        b.name = "stencil";
+        b.suite = "Parboil";
+        b.source = kStencilSource;
+        b.entry = "stencil_main";
+        b.expected = {0, 0, 2, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int total = 12 * 12 * 12;
+            Instance inst;
+            uint64_t a0 = allocDoubles(mem, total, waveA);
+            uint64_t a1 = allocDoubles(mem, total, zeroD);
+            inst.args = {I(a0), I(a1)};
+            inst.watchDoubles = {{a0, total}, {a1, total}};
+            return inst;
+        };
+        b.profile = profileOf(IdiomClass::Stencil, 0.11e9, 0.42e9,
+                              0.5e9, 100, true, 0.97, 1.0,
+                              {runtime::Api::Halide,
+                               runtime::Api::Lift});
+        b.refAlgoFactor = 1.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    // --------------------------------------------------------- tpacf
+    {
+        BenchmarkProgram b;
+        b.name = "tpacf";
+        b.suite = "Parboil";
+        b.source = kTpacfSource;
+        b.entry = "tpacf_main";
+        b.expected = {2, 1, 0, 0, 0};
+        b.setup = [](Memory &mem) {
+            const int n = 2500;
+            Instance inst;
+            uint64_t dd = allocDoubles(mem, n, [](size_t i) {
+                return 0.999 * ((i * 29 + 11) % 997) / 997.0;
+            });
+            uint64_t hist = allocInts(mem, 16, zeroI);
+            uint64_t sums = allocDoubles(mem, 2, zeroD);
+            inst.args = {I(dd), I(hist), I(sums), I(n)};
+            inst.watchInts = {{hist, 16}};
+            inst.watchDoubles = {{sums, 2}};
+            return inst;
+        };
+        // Hundreds of thousands of tiny binning kernels with fresh
+        // data each time: dispatch and DMA latency dominate the GPUs
+        // and the CPU wins (Table 3).
+        b.profile = profileOf(IdiomClass::HistogramReduction, 175e3,
+                              22.5e3, 23.75e3, 400000, false, 0.97,
+                              0.3, {runtime::Api::Lift});
+        b.refAlgoFactor = 12.0;
+        b.exploited = true;
+        all.push_back(std::move(b));
+    }
+
+    return all;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &
+nasParboilSuite()
+{
+    static const std::vector<BenchmarkProgram> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkProgram &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &b : nasParboilSuite()) {
+        if (b.name == name)
+            return b;
+    }
+    throw FatalError("unknown benchmark '" + name + "'");
+}
+
+} // namespace repro::benchmarks

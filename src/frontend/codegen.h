@@ -1,0 +1,28 @@
+/**
+ * @file
+ * MiniC to SSA IR code generation.
+ *
+ * Lowering follows the clang/LLVM recipe: every local lives in an
+ * alloca, control flow becomes explicit blocks, and a subsequent
+ * mem2reg pass (mem2reg.h) promotes scalars into SSA registers with
+ * phi nodes — producing IR of the shape shown in Figure 4 of the
+ * paper.
+ */
+#ifndef FRONTEND_CODEGEN_H
+#define FRONTEND_CODEGEN_H
+
+#include "frontend/ast.h"
+#include "ir/function.h"
+
+namespace repro::frontend {
+
+/**
+ * Generate IR for @p unit into @p module. Returns false and fills
+ * @p diags on semantic errors (unknown names, bad types).
+ */
+bool generateIR(const TranslationUnit &unit, ir::Module &module,
+                DiagEngine &diags);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_CODEGEN_H

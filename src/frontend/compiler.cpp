@@ -1,0 +1,43 @@
+#include "frontend/compiler.h"
+
+#include "frontend/codegen.h"
+#include "frontend/licm.h"
+#include "frontend/mem2reg.h"
+#include "frontend/parser.h"
+#include "frontend/passes.h"
+#include "ir/verifier.h"
+
+namespace repro::frontend {
+
+bool
+compileMiniC(const std::string &source, ir::Module &module,
+             DiagEngine &diags)
+{
+    auto unit = parseMiniC(source, diags);
+    if (!unit)
+        return false;
+    if (!generateIR(*unit, module, diags))
+        return false;
+    for (const auto &f : module.functions())
+        removeUnreachableBlocks(f.get());
+    promoteModule(module);
+    for (const auto &f : module.functions()) {
+        aggressiveDCE(f.get());
+        optimizeFunction(f.get());
+    }
+
+    auto problems = ir::verifyModule(module);
+    for (const auto &p : problems)
+        diags.error({}, "invalid IR after lowering: " + p);
+    return problems.empty();
+}
+
+void
+compileMiniCOrDie(const std::string &source, ir::Module &module)
+{
+    DiagEngine diags;
+    if (!compileMiniC(source, module, diags))
+        throw FatalError("MiniC compilation failed:\n" + diags.dump());
+}
+
+} // namespace repro::frontend

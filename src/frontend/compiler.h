@@ -1,0 +1,28 @@
+/**
+ * @file
+ * One-call MiniC compilation driver: parse, generate IR, remove
+ * unreachable code, promote scalars to SSA and clean up.
+ */
+#ifndef FRONTEND_COMPILER_H
+#define FRONTEND_COMPILER_H
+
+#include <string>
+
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace repro::frontend {
+
+/**
+ * Compile MiniC @p source into @p module (optimized SSA form).
+ * Returns false and fills @p diags on any error.
+ */
+bool compileMiniC(const std::string &source, ir::Module &module,
+                  DiagEngine &diags);
+
+/** Convenience wrapper that throws FatalError on failure. */
+void compileMiniCOrDie(const std::string &source, ir::Module &module);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_COMPILER_H

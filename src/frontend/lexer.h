@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Lexer for MiniC, the C subset used to express benchmark kernels.
+ */
+#ifndef FRONTEND_LEXER_H
+#define FRONTEND_LEXER_H
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace repro::frontend {
+
+/** Token categories of MiniC. */
+enum class TokKind
+{
+    End,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    Keyword,
+    Punct,
+};
+
+/** One lexed token. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string text;
+    SourceLoc loc;
+
+    bool is(TokKind k) const { return kind == k; }
+    bool
+    is(TokKind k, const std::string &t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isPunct(const std::string &t) const
+    {
+        return is(TokKind::Punct, t);
+    }
+    bool isKeyword(const std::string &t) const
+    {
+        return is(TokKind::Keyword, t);
+    }
+};
+
+/** Tokenize @p source; reports malformed input to @p diags. */
+std::vector<Token> lexMiniC(const std::string &source, DiagEngine &diags);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_LEXER_H

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Loop-invariant code motion and scalar promotion of memory
+ * accumulators.
+ *
+ * These reproduce the -O2 cleanups the paper's input IR has been
+ * through: invariant address computations move to preheaders, and
+ * loop-carried memory accumulators (C[i][j] += ...) become phi-form
+ * reductions — the shape DotProductLoop matches.
+ */
+#ifndef FRONTEND_LICM_H
+#define FRONTEND_LICM_H
+
+#include "ir/function.h"
+
+namespace repro::frontend {
+
+/**
+ * Hoist loop-invariant pure instructions (and, in store/call-free
+ * loops, invariant loads that execute on every iteration) into loop
+ * preheaders. Returns the number of hoisted instructions.
+ */
+int hoistLoopInvariants(ir::Function *func);
+
+/**
+ * Promote single-store loop accumulators with a loop-invariant
+ * address into SSA registers: the in-loop load becomes a phi and the
+ * store moves to the loop exit. Requires all other memory accesses in
+ * the loop to use provably distinct base pointers. Returns the number
+ * of promoted accumulators.
+ */
+int promoteMemoryAccumulators(ir::Function *func);
+
+/** Run both (plus DCE) to a fixed point, as an -O2 stand-in. */
+void optimizeFunction(ir::Function *func);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_LICM_H

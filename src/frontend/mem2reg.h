@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Promotion of scalar allocas to SSA registers (mem2reg).
+ *
+ * Classic SSA construction: phi placement on iterated dominance
+ * frontiers followed by a dominator-tree renaming walk. After this
+ * pass, MiniC loops have the canonical phi/icmp/br shape that the IDL
+ * idiom descriptions match against (compare Figure 4 of the paper).
+ */
+#ifndef FRONTEND_MEM2REG_H
+#define FRONTEND_MEM2REG_H
+
+#include "ir/function.h"
+
+namespace repro::frontend {
+
+/** Promote every promotable alloca in @p func. Returns the count. */
+int promoteAllocas(ir::Function *func);
+
+/** Run promoteAllocas on every function of @p module. */
+void promoteModule(ir::Module &module);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_MEM2REG_H

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Recursive-descent parser for MiniC.
+ */
+#ifndef FRONTEND_PARSER_H
+#define FRONTEND_PARSER_H
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+
+namespace repro::frontend {
+
+/**
+ * Parse @p source into a TranslationUnit. Returns null and fills
+ * @p diags when the program is malformed.
+ */
+std::unique_ptr<TranslationUnit> parseMiniC(const std::string &source,
+                                            DiagEngine &diags);
+
+} // namespace repro::frontend
+
+#endif // FRONTEND_PARSER_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The IDL idiom library and the detection driver.
+ *
+ * The library reconstructs the paper's ≈500 lines of IDL: building
+ * blocks (SESE, For, ForNest, GepIndex, VectorRead/Store, MatrixRead/
+ * Store, ReadRange, DotProductLoop, OffsetIndex, Flat3DIndex,
+ * StencilRead) and the top-level idioms of Figures 9-14 (GEMM, SPMV,
+ * Histogram, Reduction, Stencil) plus the FactorizationOpportunity
+ * example of Figure 2.
+ */
+#ifndef IDIOMS_LIBRARY_H
+#define IDIOMS_LIBRARY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "idl/ast.h"
+#include "solver/solver.h"
+
+namespace repro::idioms {
+
+/** Idiom classes reported in Table 1 / Figure 16 of the paper. */
+enum class IdiomClass
+{
+    ScalarReduction,
+    HistogramReduction,
+    Stencil,
+    MatrixOp,
+    SparseMatrixOp,
+    Other,
+};
+
+const char *idiomClassName(IdiomClass cls);
+
+/** One detected idiom instance. */
+struct IdiomMatch
+{
+    std::string idiom;      ///< constraint name, e.g. "SPMV"
+    IdiomClass cls = IdiomClass::Other;
+    solver::Solution solution;
+    ir::Function *function = nullptr;
+};
+
+/** Source text of the complete IDL idiom library. */
+const std::string &idiomLibrarySource();
+
+/** Parsed idiom library (shared, immutable). */
+const idl::IdlProgram &idiomLibrary();
+
+/** Names of the top-level idioms the detector searches for. */
+std::vector<std::string> topLevelIdioms();
+
+/**
+ * The detection driver: runs every top-level idiom over a function,
+ * deduplicates by anchor variable and applies subsumption (a loop
+ * claimed by GEMM/SPMV/Stencil/Histogram is not additionally counted
+ * as a scalar reduction).
+ */
+class IdiomDetector
+{
+  public:
+    IdiomDetector();
+
+    /** Detect all idioms in one function. */
+    std::vector<IdiomMatch> detect(ir::Function *func);
+
+    /** Detect across a whole module. */
+    std::vector<IdiomMatch> detectModule(ir::Module &module);
+
+    /** Search a single named idiom (no subsumption). */
+    std::vector<IdiomMatch> detectOne(ir::Function *func,
+                                      const std::string &idiom);
+
+    /** Accumulated solver statistics. */
+    const solver::SolveStats &stats() const { return stats_; }
+
+  private:
+    std::vector<IdiomMatch> runIdiom(ir::Function *func,
+                                     const std::string &idiom,
+                                     analysis::FunctionAnalyses &fa);
+
+    solver::SolveStats stats_;
+};
+
+/** Anchor variable used to deduplicate matches of @p idiom. */
+std::string idiomAnchorVar(const std::string &idiom);
+
+/** Classification of a top-level idiom name. */
+IdiomClass idiomClassOf(const std::string &idiom);
+
+/**
+ * Variable names whose bound values identify the loops an idiom match
+ * occupies (used for subsumption and runtime-coverage attribution).
+ */
+std::vector<std::string> idiomClaimVars(const std::string &idiom);
+
+} // namespace repro::idioms
+
+#endif // IDIOMS_LIBRARY_H

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * IDL lowering: compiles a named constraint definition into the flat
+ * representation of solver/constraint.h (section 4.4 of the paper).
+ */
+#ifndef IDL_LOWER_H
+#define IDL_LOWER_H
+
+#include <map>
+#include <string>
+
+#include "idl/ast.h"
+#include "solver/constraint.h"
+
+namespace repro::idl {
+
+/**
+ * Lower the definition @p name from @p program. Optional @p params
+ * override template parameter defaults. Throws FatalError on unknown
+ * names or malformed programs.
+ */
+solver::ConstraintProgram
+lowerIdiom(const IdlProgram &program, const std::string &name,
+           const std::map<std::string, int64_t> &params = {});
+
+} // namespace repro::idl
+
+#endif // IDL_LOWER_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Parser for the Idiom Description Language (grammar of Figure 7).
+ */
+#ifndef IDL_PARSER_H
+#define IDL_PARSER_H
+
+#include <memory>
+#include <string>
+
+#include "idl/ast.h"
+
+namespace repro::idl {
+
+/**
+ * Parse an IDL source buffer (one or more "Constraint ... End"
+ * definitions). Definitions may inherit from earlier ones; resolution
+ * happens at lowering time.
+ */
+std::unique_ptr<IdlProgram> parseIdl(const std::string &source,
+                                     DiagEngine &diags);
+
+/** Throwing wrapper for embedded, known-good library sources. */
+std::unique_ptr<IdlProgram> parseIdlOrDie(const std::string &source);
+
+/** Parse and append definitions into an existing program. */
+bool parseIdlInto(const std::string &source, IdlProgram &program,
+                  DiagEngine &diags);
+
+} // namespace repro::idl
+
+#endif // IDL_PARSER_H

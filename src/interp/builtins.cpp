@@ -1,0 +1,37 @@
+#include "interp/builtins.h"
+
+#include <cmath>
+
+namespace repro::interp {
+
+void
+registerMathBuiltins(Interpreter &interp)
+{
+    auto unary = [&](const char *name, double (*fn)(double)) {
+        interp.registerNative(
+            name, [fn](const std::vector<RuntimeValue> &args,
+                       Interpreter &) {
+                return RuntimeValue::makeFP(fn(args[0].f));
+            });
+    };
+    unary("sqrt", std::sqrt);
+    unary("fabs", std::fabs);
+    unary("exp", std::exp);
+    unary("log", std::log);
+    unary("sin", std::sin);
+    unary("cos", std::cos);
+    unary("floor", std::floor);
+
+    auto binary = [&](const char *name, double (*fn)(double, double)) {
+        interp.registerNative(
+            name, [fn](const std::vector<RuntimeValue> &args,
+                       Interpreter &) {
+                return RuntimeValue::makeFP(fn(args[0].f, args[1].f));
+            });
+    };
+    binary("pow", std::pow);
+    binary("fmax", std::fmax);
+    binary("fmin", std::fmin);
+}
+
+} // namespace repro::interp

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Native implementations of the math builtins the MiniC frontend
+ * declares (sqrt, fabs, exp, ...).
+ */
+#ifndef INTERP_BUILTINS_H
+#define INTERP_BUILTINS_H
+
+#include "interp/interpreter.h"
+
+namespace repro::interp {
+
+/** Register sqrt/fabs/exp/log/sin/cos/floor/pow/fmax/fmin. */
+void registerMathBuiltins(Interpreter &interp);
+
+} // namespace repro::interp
+
+#endif // INTERP_BUILTINS_H

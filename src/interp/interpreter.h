@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reference interpreter for the SSA IR.
+ *
+ * The interpreter fills two roles in the reproduction:
+ *  - executing benchmark kernels before and after idiom replacement to
+ *    verify that transformations preserve semantics; and
+ *  - profiling dynamic instruction counts per loop/instruction, which
+ *    drives the runtime-coverage experiment (Figure 17 of the paper).
+ */
+#ifndef INTERP_INTERPRETER_H
+#define INTERP_INTERPRETER_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+#include "ir/function.h"
+
+namespace repro::interp {
+
+/** A dynamic value: integer (includes pointers) or floating point. */
+struct RuntimeValue
+{
+    enum class Kind { Int, FP, Void };
+
+    Kind kind = Kind::Void;
+    int64_t i = 0;
+    double f = 0.0;
+
+    static RuntimeValue
+    makeInt(int64_t v)
+    {
+        RuntimeValue out;
+        out.kind = Kind::Int;
+        out.i = v;
+        return out;
+    }
+    static RuntimeValue
+    makeFP(double v)
+    {
+        RuntimeValue out;
+        out.kind = Kind::FP;
+        out.f = v;
+        return out;
+    }
+    static RuntimeValue makeVoid() { return {}; }
+};
+
+class Interpreter;
+
+/**
+ * Signature of a native handler standing in for an external API. The
+ * interpreter reference lets heterogeneous-API skeletons call back
+ * into extracted IR kernel functions.
+ */
+using NativeFn = std::function<RuntimeValue(
+    const std::vector<RuntimeValue> &args, Interpreter &interp)>;
+
+/** Per-instruction dynamic execution counts. */
+struct Profile
+{
+    std::map<const ir::Instruction *, uint64_t> counts;
+    uint64_t totalSteps = 0;
+
+    /** Dynamic instructions attributed to instructions in @p set. */
+    uint64_t countIn(const std::set<const ir::Instruction *> &set) const;
+};
+
+/** Executes IR functions over a Memory heap. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(ir::Module &module, Memory &mem)
+        : module_(module), mem_(mem)
+    {}
+
+    /**
+     * Register a native implementation for calls to the declared
+     * function @p name (the heterogeneous API entry points).
+     */
+    void registerNative(const std::string &name, NativeFn fn);
+
+    /** Execute @p func with @p args; returns its return value. */
+    RuntimeValue run(ir::Function *func,
+                     const std::vector<RuntimeValue> &args);
+
+    /** Re-entrant call used by native skeletons to run IR kernels. */
+    RuntimeValue call(ir::Function *func,
+                      const std::vector<RuntimeValue> &args);
+
+    ir::Module &module() { return module_; }
+
+    /** Abort execution after this many dynamic instructions. */
+    void setStepLimit(uint64_t limit) { stepLimit_ = limit; }
+
+    void enableProfile(bool on) { profiling_ = on; }
+    const Profile &profile() const { return profile_; }
+    void clearProfile() { profile_ = Profile(); }
+
+    Memory &memory() { return mem_; }
+
+  private:
+    RuntimeValue evalConstant(const ir::Constant *c) const;
+    RuntimeValue runFunction(ir::Function *func,
+                             const std::vector<RuntimeValue> &args,
+                             int depth);
+
+    ir::Module &module_;
+    Memory &mem_;
+    std::map<std::string, NativeFn> natives_;
+    std::map<const ir::GlobalVariable *, uint64_t> globalAddrs_;
+    uint64_t stepLimit_ = 5'000'000'000ULL;
+    uint64_t steps_ = 0;
+    bool profiling_ = false;
+    Profile profile_;
+};
+
+} // namespace repro::interp
+
+#endif // INTERP_INTERPRETER_H

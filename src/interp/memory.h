@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Flat byte-addressable memory for the IR interpreter.
+ *
+ * Pointers in interpreted programs are 64-bit offsets into this heap.
+ * Address 0 is kept invalid so null-pointer bugs trap.
+ */
+#ifndef INTERP_MEMORY_H
+#define INTERP_MEMORY_H
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace repro::interp {
+
+/** Interpreter heap. */
+class Memory
+{
+  public:
+    Memory() : bytes_(kBase, 0) {}
+
+    /** Allocate @p size bytes, 8-byte aligned; returns the address. */
+    uint64_t
+    allocate(uint64_t size)
+    {
+        uint64_t addr = (bytes_.size() + 7) & ~uint64_t(7);
+        bytes_.resize(addr + size, 0);
+        return addr;
+    }
+
+    uint64_t size() const { return bytes_.size(); }
+
+    template <typename T>
+    T
+    load(uint64_t addr) const
+    {
+        checkRange(addr, sizeof(T));
+        T out;
+        std::memcpy(&out, bytes_.data() + addr, sizeof(T));
+        return out;
+    }
+
+    template <typename T>
+    void
+    store(uint64_t addr, T value)
+    {
+        checkRange(addr, sizeof(T));
+        std::memcpy(bytes_.data() + addr, &value, sizeof(T));
+    }
+
+    /** Direct pointer into the heap for bulk native operations. */
+    uint8_t *
+    raw(uint64_t addr, uint64_t size)
+    {
+        checkRange(addr, size);
+        return bytes_.data() + addr;
+    }
+
+    const uint8_t *
+    raw(uint64_t addr, uint64_t size) const
+    {
+        checkRange(addr, size);
+        return bytes_.data() + addr;
+    }
+
+  private:
+    void
+    checkRange(uint64_t addr, uint64_t size) const
+    {
+        if (addr < kBase || addr + size > bytes_.size()) {
+            throw FatalError("interpreter memory access out of range");
+        }
+    }
+
+    static constexpr uint64_t kBase = 64;
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace repro::interp
+
+#endif // INTERP_MEMORY_H

@@ -1,0 +1,173 @@
+#include "ir/function.h"
+
+#include <set>
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace repro::ir {
+
+Function::Function(Type *func_type, std::string name, Module *parent)
+    : Value(ValueKind::FunctionRef, func_type, std::move(name)),
+      module_(parent), funcType_(func_type)
+{
+    const auto &params = func_type->params();
+    for (size_t i = 0; i < params.size(); ++i) {
+        std::ostringstream os;
+        os << "arg" << i;
+        args_.emplace_back(new Argument(params[i], os.str(), this,
+                                        static_cast<int>(i)));
+    }
+}
+
+void
+Function::dropAllReferences()
+{
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb->insts())
+            inst->dropOperands();
+    }
+}
+
+BasicBlock *
+Function::createBlock(const std::string &name)
+{
+    blocks_.emplace_back(new BasicBlock(name, this));
+    return blocks_.back().get();
+}
+
+BasicBlock *
+Function::blockByName(const std::string &name) const
+{
+    for (const auto &bb : blocks_) {
+        if (bb->name() == name)
+            return bb.get();
+    }
+    return nullptr;
+}
+
+int
+Function::blockIndex(const BasicBlock *bb) const
+{
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].get() == bb)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Function::eraseBlock(BasicBlock *bb)
+{
+    int idx = blockIndex(bb);
+    reproAssert(idx >= 0, "eraseBlock: block not in function");
+    blocks_.erase(blocks_.begin() + idx);
+}
+
+std::vector<Value *>
+Function::renumber()
+{
+    std::vector<Value *> values;
+    int next = 0;
+    for (const auto &a : args_) {
+        a->setId(next++);
+        values.push_back(a.get());
+    }
+    std::set<Value *> const_seen;
+    for (const auto &bb : blocks_) {
+        for (const auto &inst : bb->insts()) {
+            inst->setId(next++);
+            values.push_back(inst.get());
+            for (Value *op : inst->operands()) {
+                if ((op->isConstant() || op->isGlobal()) &&
+                    const_seen.insert(op).second) {
+                    op->setId(next++);
+                    values.push_back(op);
+                }
+            }
+        }
+    }
+    return values;
+}
+
+size_t
+Function::instructionCount() const
+{
+    size_t n = 0;
+    for (const auto &bb : blocks_)
+        n += bb->size();
+    return n;
+}
+
+std::string
+Function::uniqueName(const std::string &prefix)
+{
+    std::ostringstream os;
+    os << prefix << nameCounter_++;
+    return os.str();
+}
+
+Function *
+Module::createFunction(const std::string &name, Type *ret,
+                       std::vector<Type *> params)
+{
+    Type *fty = types_.functionTy(ret, std::move(params));
+    functions_.emplace_back(new Function(fty, name, this));
+    return functions_.back().get();
+}
+
+Function *
+Module::functionByName(const std::string &name) const
+{
+    for (const auto &f : functions_) {
+        if (f->name() == name)
+            return f.get();
+    }
+    return nullptr;
+}
+
+GlobalVariable *
+Module::createGlobal(const std::string &name, Type *stored)
+{
+    globals_.emplace_back(
+        new GlobalVariable(types_.pointerTo(stored), stored, name));
+    return globals_.back().get();
+}
+
+GlobalVariable *
+Module::globalByName(const std::string &name) const
+{
+    for (const auto &g : globals_) {
+        if (g->name() == name)
+            return g.get();
+    }
+    return nullptr;
+}
+
+Constant *
+Module::intConst(Type *type, int64_t value)
+{
+    auto key = std::make_pair(type, value);
+    auto it = intConsts_.find(key);
+    if (it != intConsts_.end())
+        return it->second.get();
+    auto c = std::make_unique<Constant>(type, value);
+    Constant *out = c.get();
+    intConsts_[key] = std::move(c);
+    return out;
+}
+
+Constant *
+Module::fpConst(Type *type, double value)
+{
+    auto key = std::make_pair(type, value);
+    auto it = fpConsts_.find(key);
+    if (it != fpConsts_.end())
+        return it->second.get();
+    auto c = std::make_unique<Constant>(type, value);
+    Constant *out = c.get();
+    fpConsts_[key] = std::move(c);
+    return out;
+}
+
+} // namespace repro::ir

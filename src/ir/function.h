@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Function and Module containers of the SSA IR.
+ */
+#ifndef IR_FUNCTION_H
+#define IR_FUNCTION_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+
+namespace repro::ir {
+
+class Module;
+
+/** A function: arguments plus a CFG of basic blocks. */
+class Function : public Value
+{
+  public:
+    Function(Type *func_type, std::string name, Module *parent);
+    ~Function() override { dropAllReferences(); }
+
+    /**
+     * Drop every operand edge of every instruction so the function can
+     * be destroyed regardless of cross-block or cross-object use
+     * edges.
+     */
+    void dropAllReferences();
+
+    Module *parentModule() const { return module_; }
+    Type *functionType() const { return funcType_; }
+    Type *returnType() const { return funcType_->returnType(); }
+
+    bool isDeclaration() const { return blocks_.empty(); }
+
+    // Arguments ----------------------------------------------------------
+    size_t numArgs() const { return args_.size(); }
+    Argument *arg(size_t i) const { return args_[i].get(); }
+    const std::vector<std::unique_ptr<Argument>> &args() const
+    {
+        return args_;
+    }
+
+    // Blocks -------------------------------------------------------------
+    BasicBlock *createBlock(const std::string &name);
+    const std::vector<std::unique_ptr<BasicBlock>> &blocks() const
+    {
+        return blocks_;
+    }
+    BasicBlock *entry() const
+    {
+        return blocks_.empty() ? nullptr : blocks_.front().get();
+    }
+    BasicBlock *blockByName(const std::string &name) const;
+    int blockIndex(const BasicBlock *bb) const;
+
+    /** Remove an unreachable block (must have no live instructions). */
+    void eraseBlock(BasicBlock *bb);
+
+    /**
+     * Assign dense ids to arguments and instructions and return every
+     * value in the function in a stable order. Constants used as
+     * operands are included once each.
+     */
+    std::vector<Value *> renumber();
+
+    /** Total number of instructions across all blocks. */
+    size_t instructionCount() const;
+
+    std::string handle() const override { return "@" + name(); }
+
+    /** Pick a fresh SSA name with the given prefix. */
+    std::string uniqueName(const std::string &prefix);
+
+  private:
+    Module *module_;
+    Type *funcType_;
+    std::vector<std::unique_ptr<Argument>> args_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    int nameCounter_ = 0;
+};
+
+/** Top-level container: functions, globals and interned constants. */
+class Module
+{
+  public:
+    Module() = default;
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    ~Module()
+    {
+        // Sever all operand edges before members are destroyed so the
+        // destruction order of functions, globals and interned
+        // constants cannot matter.
+        for (auto &f : functions_)
+            f->dropAllReferences();
+        functions_.clear();
+    }
+
+    TypeContext &types() { return types_; }
+
+    Function *createFunction(const std::string &name, Type *ret,
+                             std::vector<Type *> params);
+    Function *functionByName(const std::string &name) const;
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+
+    GlobalVariable *createGlobal(const std::string &name, Type *stored);
+    GlobalVariable *globalByName(const std::string &name) const;
+    const std::vector<std::unique_ptr<GlobalVariable>> &globals() const
+    {
+        return globals_;
+    }
+
+    /** Interned integer constant. */
+    Constant *intConst(Type *type, int64_t value);
+    /** Interned floating point constant. */
+    Constant *fpConst(Type *type, double value);
+
+  private:
+    TypeContext types_;
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::vector<std::unique_ptr<GlobalVariable>> globals_;
+    std::map<std::pair<Type *, int64_t>, std::unique_ptr<Constant>>
+        intConsts_;
+    std::map<std::pair<Type *, double>, std::unique_ptr<Constant>>
+        fpConsts_;
+};
+
+} // namespace repro::ir
+
+#endif // IR_FUNCTION_H

@@ -1,0 +1,184 @@
+#include "ir/irbuilder.h"
+
+#include "support/diagnostics.h"
+
+namespace repro::ir {
+
+Instruction *
+IRBuilder::emit(std::unique_ptr<Instruction> inst)
+{
+    reproAssert(block_ != nullptr, "IRBuilder: no insertion point");
+    return block_->append(std::move(inst));
+}
+
+Instruction *
+IRBuilder::binary(Opcode op, Value *lhs, Value *rhs,
+                  const std::string &name)
+{
+    reproAssert(lhs->type() == rhs->type(),
+                "binary: operand type mismatch");
+    auto inst = std::make_unique<Instruction>(op, lhs->type(), name);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::alloca_(Type *type, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Alloca, types().pointerTo(type), name);
+    inst->setAccessType(type);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::load(Value *ptr, const std::string &name)
+{
+    reproAssert(ptr->type()->isPointer(), "load: operand not a pointer");
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Load, ptr->type()->element(), name);
+    inst->addOperand(ptr);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::store(Value *value, Value *ptr)
+{
+    reproAssert(ptr->type()->isPointer(), "store: operand not a pointer");
+    reproAssert(ptr->type()->element() == value->type(),
+                "store: type mismatch");
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Store, types().voidTy(), "");
+    inst->addOperand(value);
+    inst->addOperand(ptr);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::gep(Value *base, const std::vector<Value *> &indices,
+               const std::string &name)
+{
+    reproAssert(base->type()->isPointer(), "gep: base not a pointer");
+    reproAssert(!indices.empty(), "gep: no indices");
+    // The first index steps over whole pointees; each further index
+    // steps into an array dimension, as in LLVM.
+    Type *cur = base->type()->element();
+    for (size_t i = 1; i < indices.size(); ++i) {
+        reproAssert(cur->isArray(), "gep: too many indices");
+        cur = cur->element();
+    }
+    auto inst = std::make_unique<Instruction>(
+        Opcode::GEP, types().pointerTo(cur), name);
+    inst->setAccessType(base->type()->element());
+    inst->addOperand(base);
+    for (Value *idx : indices)
+        inst->addOperand(idx);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::icmp(CmpPred pred, Value *l, Value *r, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::ICmp, types().i1Ty(), name);
+    inst->setCmpPred(pred);
+    inst->addOperand(l);
+    inst->addOperand(r);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::fcmp(CmpPred pred, Value *l, Value *r, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::FCmp, types().i1Ty(), name);
+    inst->setCmpPred(pred);
+    inst->addOperand(l);
+    inst->addOperand(r);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::select(Value *cond, Value *t, Value *f, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Select, t->type(), name);
+    inst->addOperand(cond);
+    inst->addOperand(t);
+    inst->addOperand(f);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::br(BasicBlock *dest)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Br, types().voidTy(), "");
+    inst->addBlockTarget(dest);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::condBr(Value *cond, BasicBlock *t, BasicBlock *f)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Br, types().voidTy(), "");
+    inst->addOperand(cond);
+    inst->addBlockTarget(t);
+    inst->addBlockTarget(f);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::ret(Value *value)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Ret, types().voidTy(), "");
+    inst->addOperand(value);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::retVoid()
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Ret, types().voidTy(), "");
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::phi(Type *type, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(Opcode::Phi, type, name);
+    reproAssert(block_ != nullptr, "IRBuilder: no insertion point");
+    // Phis must stay grouped at the start of the block.
+    size_t pos = 0;
+    while (pos < block_->size() &&
+           block_->insts()[pos]->is(Opcode::Phi)) {
+        ++pos;
+    }
+    return block_->insert(pos, std::move(inst));
+}
+
+Instruction *
+IRBuilder::cast(Opcode op, Value *v, Type *to, const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(op, to, name);
+    inst->addOperand(v);
+    return emit(std::move(inst));
+}
+
+Instruction *
+IRBuilder::call(Function *callee, const std::vector<Value *> &args,
+                const std::string &name)
+{
+    auto inst = std::make_unique<Instruction>(
+        Opcode::Call, callee->returnType(), name);
+    inst->setCallee(callee);
+    for (Value *a : args)
+        inst->addOperand(a);
+    return emit(std::move(inst));
+}
+
+} // namespace repro::ir

@@ -1,0 +1,678 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "support/string_utils.h"
+
+namespace repro::ir {
+
+namespace {
+
+/** Character cursor over one source line. */
+class Cursor
+{
+  public:
+    Cursor(const std::string &line, int line_no)
+        : s_(line), lineNo_(line_no)
+    {}
+
+    void
+    skipWS()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool atEnd()
+    {
+        skipWS();
+        return pos_ >= s_.size();
+    }
+
+    char
+    peek()
+    {
+        skipWS();
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    /** Consume @p text if it is next (token-ish match). */
+    bool
+    match(const std::string &text)
+    {
+        skipWS();
+        if (s_.compare(pos_, text.size(), text) == 0) {
+            pos_ += text.size();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(const std::string &text, DiagEngine &diags)
+    {
+        if (!match(text)) {
+            diags.error({lineNo_, static_cast<int>(pos_) + 1},
+                        "expected '" + text + "' in: " + s_);
+            throw FatalError("IR parse error");
+        }
+    }
+
+    /** Read an identifier-like token: letters, digits, . _ - */
+    std::string
+    ident()
+    {
+        skipWS();
+        size_t start = pos_;
+        while (pos_ < s_.size()) {
+            char c = s_[pos_];
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                c == '_' || c == '-' || c == '+') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        return s_.substr(start, pos_ - start);
+    }
+
+    /** Read a value token: %name, @name or a numeric literal. */
+    std::string
+    valueToken()
+    {
+        skipWS();
+        std::string out;
+        if (pos_ < s_.size() && (s_[pos_] == '%' || s_[pos_] == '@')) {
+            out.push_back(s_[pos_]);
+            ++pos_;
+        }
+        out += ident();
+        return out;
+    }
+
+    /** Parse a type: [N x T], scalar names, trailing '*'s. */
+    Type *
+    parseType(TypeContext &types, DiagEngine &diags)
+    {
+        skipWS();
+        Type *base = nullptr;
+        if (match("[")) {
+            std::string count = ident();
+            expect("x", diags);
+            Type *elem = parseType(types, diags);
+            expect("]", diags);
+            base = types.arrayOf(elem, std::stoull(count));
+        } else {
+            std::string word = ident();
+            base = types.parse(word);
+            if (!base) {
+                diags.error({lineNo_, static_cast<int>(pos_) + 1},
+                            "unknown type '" + word + "' in: " + s_);
+                throw FatalError("IR parse error");
+            }
+        }
+        while (true) {
+            skipWS();
+            if (pos_ < s_.size() && s_[pos_] == '*') {
+                ++pos_;
+                base = types.pointerTo(base);
+            } else {
+                break;
+            }
+        }
+        return base;
+    }
+
+    int lineNo() const { return lineNo_; }
+    const std::string &text() const { return s_; }
+
+  private:
+    std::string s_;
+    size_t pos_ = 0;
+    int lineNo_;
+};
+
+/** One instruction line pending operand resolution. */
+struct PendingInst
+{
+    Instruction *inst = nullptr;
+    std::string line;
+    int lineNo = 0;
+};
+
+/** Parser state for one function body. */
+class FunctionParser
+{
+  public:
+    FunctionParser(Module &module, Function *func, DiagEngine &diags)
+        : module_(module), func_(func), diags_(diags)
+    {}
+
+    void registerValue(const std::string &token, Value *v)
+    {
+        values_[token] = v;
+    }
+
+    Value *
+    lookupValue(const std::string &token, Type *type, int line_no)
+    {
+        if (token.empty()) {
+            diags_.error({line_no, 0}, "empty operand token");
+            throw FatalError("IR parse error");
+        }
+        if (token[0] == '%') {
+            auto it = values_.find(token);
+            if (it == values_.end()) {
+                diags_.error({line_no, 0},
+                             "unknown value '" + token + "'");
+                throw FatalError("IR parse error");
+            }
+            return it->second;
+        }
+        if (token[0] == '@') {
+            std::string name = token.substr(1);
+            if (Value *g = module_.globalByName(name))
+                return g;
+            if (Value *f = module_.functionByName(name))
+                return f;
+            diags_.error({line_no, 0}, "unknown global '" + token + "'");
+            throw FatalError("IR parse error");
+        }
+        // Literal constant.
+        if (type->isFloatingPoint())
+            return module_.fpConst(type, std::stod(token));
+        return module_.intConst(type, std::stoll(token));
+    }
+
+    BasicBlock *
+    lookupBlock(const std::string &name, int line_no)
+    {
+        BasicBlock *bb = func_->blockByName(name);
+        if (!bb) {
+            diags_.error({line_no, 0}, "unknown block '%" + name + "'");
+            throw FatalError("IR parse error");
+        }
+        return bb;
+    }
+
+    Module &module_;
+    Function *func_;
+    DiagEngine &diags_;
+    std::map<std::string, Value *> values_;
+};
+
+Opcode
+opcodeFromWord(const std::string &word, bool &ok)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"sdiv", Opcode::SDiv},
+        {"srem", Opcode::SRem}, {"and", Opcode::And},
+        {"or", Opcode::Or}, {"xor", Opcode::Xor},
+        {"shl", Opcode::Shl}, {"ashr", Opcode::AShr},
+        {"fadd", Opcode::FAdd}, {"fsub", Opcode::FSub},
+        {"fmul", Opcode::FMul}, {"fdiv", Opcode::FDiv},
+        {"load", Opcode::Load}, {"store", Opcode::Store},
+        {"getelementptr", Opcode::GEP}, {"gep", Opcode::GEP},
+        {"alloca", Opcode::Alloca}, {"icmp", Opcode::ICmp},
+        {"fcmp", Opcode::FCmp}, {"select", Opcode::Select},
+        {"br", Opcode::Br}, {"ret", Opcode::Ret},
+        {"phi", Opcode::Phi}, {"sext", Opcode::SExt},
+        {"zext", Opcode::ZExt}, {"trunc", Opcode::Trunc},
+        {"sitofp", Opcode::SIToFP}, {"fptosi", Opcode::FPToSI},
+        {"fpext", Opcode::FPExt}, {"fptrunc", Opcode::FPTrunc},
+        {"call", Opcode::Call},
+    };
+    auto it = table.find(word);
+    ok = it != table.end();
+    return ok ? it->second : Opcode::Add;
+}
+
+bool
+cmpPredFromWord(const std::string &w, CmpPred &pred)
+{
+    static const std::map<std::string, CmpPred> table = {
+        {"eq", CmpPred::EQ}, {"ne", CmpPred::NE},
+        {"slt", CmpPred::LT}, {"sle", CmpPred::LE},
+        {"sgt", CmpPred::GT}, {"sge", CmpPred::GE},
+        {"ult", CmpPred::LT}, {"ule", CmpPred::LE},
+        {"ugt", CmpPred::GT}, {"uge", CmpPred::GE},
+        {"oeq", CmpPred::EQ}, {"one", CmpPred::NE},
+        {"olt", CmpPred::LT}, {"ole", CmpPred::LE},
+        {"ogt", CmpPred::GT}, {"oge", CmpPred::GE},
+    };
+    auto it = table.find(w);
+    if (it == table.end())
+        return false;
+    pred = it->second;
+    return true;
+}
+
+/**
+ * Pass 1: create the instruction with its result type and register its
+ * name. Returns the created instruction.
+ */
+Instruction *
+createInstruction(FunctionParser &fp, BasicBlock *bb,
+                  const std::string &line, int line_no)
+{
+    TypeContext &types = fp.module_.types();
+    Cursor cur(line, line_no);
+
+    std::string result_tok;
+    if (cur.peek() == '%') {
+        result_tok = cur.valueToken();
+        cur.expect("=", fp.diags_);
+    }
+
+    std::string opword = cur.ident();
+    bool ok = false;
+    Opcode op = opcodeFromWord(opword, ok);
+    if (!ok) {
+        fp.diags_.error({line_no, 1},
+                        "unknown instruction '" + opword + "'");
+        throw FatalError("IR parse error");
+    }
+
+    Type *type = types.voidTy();
+    Type *access = nullptr;
+    CmpPred pred = CmpPred::EQ;
+    Function *callee = nullptr;
+
+    switch (op) {
+      case Opcode::Load:
+        type = cur.parseType(types, fp.diags_);
+        break;
+      case Opcode::GEP: {
+        access = cur.parseType(types, fp.diags_);
+        cur.expect(",", fp.diags_);
+        cur.parseType(types, fp.diags_); // base pointer type
+        cur.valueToken();
+        // The first index steps over whole pointees; each further index
+        // steps into one array dimension.
+        Type *elem = access;
+        while (cur.match(",")) {
+            cur.parseType(types, fp.diags_);
+            cur.valueToken();
+        }
+        // Operands: "<access type>, <base>, <idx0>[, <idxN>...]" —
+        // the first index steps whole pointees, each further one
+        // descends an array level.
+        int commas = 0;
+        for (char c : line) {
+            if (c == ',')
+                ++commas;
+        }
+        for (int i = 0; i < commas - 2; ++i)
+            elem = elem->element();
+        type = types.pointerTo(elem);
+        break;
+      }
+      case Opcode::Alloca:
+        access = cur.parseType(types, fp.diags_);
+        type = types.pointerTo(access);
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        std::string pw = cur.ident();
+        if (!cmpPredFromWord(pw, pred)) {
+            fp.diags_.error({line_no, 1},
+                            "bad compare predicate '" + pw + "'");
+            throw FatalError("IR parse error");
+        }
+        type = types.i1Ty();
+        break;
+      }
+      case Opcode::Select:
+        cur.parseType(types, fp.diags_); // i1
+        cur.valueToken();
+        cur.expect(",", fp.diags_);
+        type = cur.parseType(types, fp.diags_);
+        break;
+      case Opcode::Phi:
+        type = cur.parseType(types, fp.diags_);
+        break;
+      case Opcode::SExt:
+      case Opcode::ZExt:
+      case Opcode::Trunc:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::FPExt:
+      case Opcode::FPTrunc: {
+        cur.parseType(types, fp.diags_);
+        cur.valueToken();
+        cur.expect("to", fp.diags_);
+        type = cur.parseType(types, fp.diags_);
+        break;
+      }
+      case Opcode::Call: {
+        type = cur.parseType(types, fp.diags_);
+        std::string ftok = cur.valueToken();
+        callee = fp.module_.functionByName(ftok.substr(1));
+        if (!callee) {
+            fp.diags_.error({line_no, 1},
+                            "call to unknown function " + ftok);
+            throw FatalError("IR parse error");
+        }
+        break;
+      }
+      case Opcode::Store:
+      case Opcode::Br:
+      case Opcode::Ret:
+        type = types.voidTy();
+        break;
+      default:
+        // Binary arithmetic: type follows the opcode.
+        type = cur.parseType(types, fp.diags_);
+        break;
+    }
+
+    std::string name;
+    if (!result_tok.empty() && result_tok[0] == '%') {
+        name = result_tok.substr(1);
+        bool numeric = !name.empty() &&
+            name.find_first_not_of("0123456789") == std::string::npos;
+        if (numeric)
+            name.clear();
+    }
+
+    auto inst = std::make_unique<Instruction>(op, type, name);
+    if (access)
+        inst->setAccessType(access);
+    inst->setCmpPred(pred);
+    if (callee)
+        inst->setCallee(callee);
+    Instruction *out = bb->append(std::move(inst));
+    if (!result_tok.empty())
+        fp.registerValue(result_tok, out);
+    return out;
+}
+
+/** Pass 2: re-parse the line and attach operands / block targets. */
+void
+resolveInstruction(FunctionParser &fp, Instruction *inst,
+                   const std::string &line, int line_no)
+{
+    TypeContext &types = fp.module_.types();
+    Cursor cur(line, line_no);
+
+    if (cur.peek() == '%') {
+        cur.valueToken();
+        cur.expect("=", fp.diags_);
+    }
+    cur.ident(); // opcode word
+
+    auto typedOperand = [&]() -> Value * {
+        Type *t = cur.parseType(types, fp.diags_);
+        std::string tok = cur.valueToken();
+        return fp.lookupValue(tok, t, line_no);
+    };
+
+    switch (inst->opcode()) {
+      case Opcode::Load:
+        cur.parseType(types, fp.diags_);
+        cur.expect(",", fp.diags_);
+        inst->addOperand(typedOperand());
+        break;
+      case Opcode::Store:
+        inst->addOperand(typedOperand());
+        cur.expect(",", fp.diags_);
+        inst->addOperand(typedOperand());
+        break;
+      case Opcode::GEP: {
+        cur.parseType(types, fp.diags_); // access type
+        cur.expect(",", fp.diags_);
+        inst->addOperand(typedOperand());
+        while (cur.match(","))
+            inst->addOperand(typedOperand());
+        break;
+      }
+      case Opcode::Alloca:
+        cur.parseType(types, fp.diags_);
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        cur.ident(); // predicate
+        Type *t = cur.parseType(types, fp.diags_);
+        std::string a = cur.valueToken();
+        cur.expect(",", fp.diags_);
+        std::string b = cur.valueToken();
+        inst->addOperand(fp.lookupValue(a, t, line_no));
+        inst->addOperand(fp.lookupValue(b, t, line_no));
+        break;
+      }
+      case Opcode::Select:
+        inst->addOperand(typedOperand());
+        cur.expect(",", fp.diags_);
+        inst->addOperand(typedOperand());
+        cur.expect(",", fp.diags_);
+        inst->addOperand(typedOperand());
+        break;
+      case Opcode::Br:
+        if (cur.match("label")) {
+            cur.expect("%", fp.diags_);
+            inst->addBlockTarget(fp.lookupBlock(cur.ident(), line_no));
+        } else {
+            inst->addOperand(typedOperand());
+            cur.expect(",", fp.diags_);
+            cur.expect("label", fp.diags_);
+            cur.expect("%", fp.diags_);
+            inst->addBlockTarget(fp.lookupBlock(cur.ident(), line_no));
+            cur.expect(",", fp.diags_);
+            cur.expect("label", fp.diags_);
+            cur.expect("%", fp.diags_);
+            inst->addBlockTarget(fp.lookupBlock(cur.ident(), line_no));
+        }
+        break;
+      case Opcode::Ret:
+        if (!cur.match("void"))
+            inst->addOperand(typedOperand());
+        break;
+      case Opcode::Phi: {
+        Type *t = cur.parseType(types, fp.diags_);
+        bool first = true;
+        while (true) {
+            if (!first && !cur.match(","))
+                break;
+            first = false;
+            if (!cur.match("["))
+                break;
+            std::string vtok = cur.valueToken();
+            cur.expect(",", fp.diags_);
+            cur.expect("%", fp.diags_);
+            std::string bname = cur.ident();
+            cur.expect("]", fp.diags_);
+            inst->addIncoming(fp.lookupValue(vtok, t, line_no),
+                              fp.lookupBlock(bname, line_no));
+        }
+        break;
+      }
+      case Opcode::SExt:
+      case Opcode::ZExt:
+      case Opcode::Trunc:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::FPExt:
+      case Opcode::FPTrunc: {
+        inst->addOperand(typedOperand());
+        break;
+      }
+      case Opcode::Call: {
+        cur.parseType(types, fp.diags_);
+        cur.valueToken(); // @callee
+        cur.expect("(", fp.diags_);
+        if (!cur.match(")")) {
+            do {
+                inst->addOperand(typedOperand());
+            } while (cur.match(","));
+            cur.expect(")", fp.diags_);
+        }
+        break;
+      }
+      default: {
+        // Binary arithmetic.
+        Type *t = cur.parseType(types, fp.diags_);
+        std::string a = cur.valueToken();
+        cur.expect(",", fp.diags_);
+        std::string b = cur.valueToken();
+        inst->addOperand(fp.lookupValue(a, t, line_no));
+        inst->addOperand(fp.lookupValue(b, t, line_no));
+        break;
+      }
+    }
+}
+
+std::string
+stripComment(const std::string &line)
+{
+    size_t pos = line.find(';');
+    if (pos == std::string::npos)
+        return line;
+    return line.substr(0, pos);
+}
+
+/** Parse the "define ..." header; returns arg name tokens. */
+Function *
+parseHeader(Module &module, const std::string &line, int line_no,
+            DiagEngine &diags, std::vector<std::string> &arg_names)
+{
+    Cursor cur(line, line_no);
+    if (!cur.match("define") && !cur.match("declare"))
+        return nullptr;
+    Type *ret = cur.parseType(module.types(), diags);
+    std::string fname = cur.valueToken();
+    if (fname.empty() || fname[0] != '@') {
+        diags.error({line_no, 1}, "expected function name");
+        throw FatalError("IR parse error");
+    }
+    cur.expect("(", diags);
+    std::vector<Type *> params;
+    if (!cur.match(")")) {
+        do {
+            params.push_back(cur.parseType(module.types(), diags));
+            if (cur.peek() == '%')
+                arg_names.push_back(cur.valueToken());
+            else
+                arg_names.push_back("");
+        } while (cur.match(","));
+        cur.expect(")", diags);
+    }
+    Function *f = module.createFunction(fname.substr(1), ret,
+                                        std::move(params));
+    for (size_t i = 0; i < arg_names.size(); ++i) {
+        if (!arg_names[i].empty())
+            f->arg(i)->setName(arg_names[i].substr(1));
+    }
+    return f;
+}
+
+} // namespace
+
+bool
+parseModule(const std::string &text, Module &module, DiagEngine &diags)
+{
+    std::vector<std::string> lines = splitString(text, '\n');
+
+    try {
+        // Pre-pass: globals and function signatures, so calls and
+        // global references resolve regardless of definition order.
+        struct Body
+        {
+            Function *func;
+            std::vector<std::string> argNames;
+            std::vector<std::pair<std::string, int>> lines;
+        };
+        std::vector<Body> bodies;
+        Body *current = nullptr;
+
+        for (size_t i = 0; i < lines.size(); ++i) {
+            std::string line = trimString(stripComment(lines[i]));
+            int line_no = static_cast<int>(i) + 1;
+            if (line.empty())
+                continue;
+            if (startsWith(line, "@")) {
+                Cursor cur(line, line_no);
+                std::string gname = cur.valueToken();
+                cur.expect("=", diags);
+                cur.expect("global", diags);
+                Type *stored = cur.parseType(module.types(), diags);
+                module.createGlobal(gname.substr(1), stored);
+                continue;
+            }
+            if (startsWith(line, "define") || startsWith(line, "declare")) {
+                std::vector<std::string> arg_names;
+                Function *f = parseHeader(module, line, line_no, diags,
+                                          arg_names);
+                bodies.push_back({f, std::move(arg_names), {}});
+                current = endsWith(line, "{") ? &bodies.back() : nullptr;
+                continue;
+            }
+            if (line == "}") {
+                current = nullptr;
+                continue;
+            }
+            if (current)
+                current->lines.emplace_back(line, line_no);
+        }
+
+        // Per-function body parsing.
+        for (Body &body : bodies) {
+            if (body.lines.empty())
+                continue;
+            FunctionParser fp(module, body.func, diags);
+            for (size_t i = 0; i < body.argNames.size(); ++i) {
+                if (!body.argNames[i].empty()) {
+                    fp.registerValue(body.argNames[i],
+                                     body.func->arg(i));
+                }
+            }
+
+            // Pass A: create blocks.
+            bool first_is_label = endsWith(body.lines.front().first, ":");
+            if (!first_is_label)
+                body.func->createBlock("entry");
+            for (auto &[line, line_no] : body.lines) {
+                if (endsWith(line, ":")) {
+                    body.func->createBlock(
+                        trimString(line.substr(0, line.size() - 1)));
+                }
+            }
+
+            // Pass B: create instructions.
+            std::vector<PendingInst> pending;
+            BasicBlock *bb = body.func->entry();
+            for (auto &[line, line_no] : body.lines) {
+                if (endsWith(line, ":")) {
+                    bb = body.func->blockByName(
+                        trimString(line.substr(0, line.size() - 1)));
+                    continue;
+                }
+                Instruction *inst =
+                    createInstruction(fp, bb, line, line_no);
+                pending.push_back({inst, line, line_no});
+            }
+
+            // Pass C: resolve operands.
+            for (PendingInst &p : pending)
+                resolveInstruction(fp, p.inst, p.line, p.lineNo);
+        }
+    } catch (const FatalError &) {
+        return false;
+    }
+    return !diags.hasErrors();
+}
+
+void
+parseModuleOrDie(const std::string &text, Module &module)
+{
+    DiagEngine diags;
+    if (!parseModule(text, module, diags))
+        throw FatalError("IR parse failed:\n" + diags.dump());
+}
+
+} // namespace repro::ir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parser for the textual IR syntax produced by printer.h.
+ *
+ * The parser accepts the same LLVM-like dialect the printer emits. It is
+ * used by tests and examples to write IR fixtures directly, playing the
+ * role of llvm-as in the original system.
+ */
+#ifndef IR_PARSER_H
+#define IR_PARSER_H
+
+#include <string>
+
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace repro::ir {
+
+/**
+ * Parse @p text into @p module. Reports problems to @p diags and
+ * returns false if any error occurred.
+ */
+bool parseModule(const std::string &text, Module &module,
+                 DiagEngine &diags);
+
+/** Convenience wrapper that throws FatalError on parse failure. */
+void parseModuleOrDie(const std::string &text, Module &module);
+
+} // namespace repro::ir
+
+#endif // IR_PARSER_H

@@ -1,0 +1,166 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace repro::ir {
+
+std::string
+printOperand(const Value *v)
+{
+    return v->handle();
+}
+
+namespace {
+
+std::string
+typedOperand(const Value *v)
+{
+    return v->type()->str() + " " + printOperand(v);
+}
+
+} // namespace
+
+std::string
+printInstruction(const Instruction *inst)
+{
+    std::ostringstream os;
+    bool produces = !inst->type()->isVoid();
+    if (produces)
+        os << printOperand(inst) << " = ";
+
+    switch (inst->opcode()) {
+      case Opcode::Store:
+        os << "store " << typedOperand(inst->operand(0)) << ", "
+           << typedOperand(inst->operand(1));
+        break;
+      case Opcode::Load:
+        os << "load " << inst->type()->str() << ", "
+           << typedOperand(inst->operand(0));
+        break;
+      case Opcode::GEP:
+        os << "getelementptr " << inst->accessType()->str() << ", "
+           << typedOperand(inst->operand(0));
+        for (size_t i = 1; i < inst->numOperands(); ++i)
+            os << ", " << typedOperand(inst->operand(i));
+        break;
+      case Opcode::Alloca:
+        os << "alloca " << inst->accessType()->str();
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        os << opcodeName(inst->opcode()) << " "
+           << cmpPredName(inst->cmpPred(),
+                          inst->opcode() == Opcode::FCmp)
+           << " " << inst->operand(0)->type()->str() << " "
+           << printOperand(inst->operand(0)) << ", "
+           << printOperand(inst->operand(1));
+        break;
+      case Opcode::Select:
+        os << "select " << typedOperand(inst->operand(0)) << ", "
+           << typedOperand(inst->operand(1)) << ", "
+           << typedOperand(inst->operand(2));
+        break;
+      case Opcode::Br:
+        if (inst->isConditionalBranch()) {
+            os << "br " << typedOperand(inst->operand(0)) << ", label %"
+               << inst->blockTargets()[0]->name() << ", label %"
+               << inst->blockTargets()[1]->name();
+        } else {
+            os << "br label %" << inst->blockTargets()[0]->name();
+        }
+        break;
+      case Opcode::Ret:
+        if (inst->numOperands() == 0)
+            os << "ret void";
+        else
+            os << "ret " << typedOperand(inst->operand(0));
+        break;
+      case Opcode::Phi: {
+        os << "phi " << inst->type()->str() << " ";
+        for (size_t i = 0; i < inst->numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            os << "[ " << printOperand(inst->operand(i)) << ", %"
+               << inst->incomingBlocks()[i]->name() << " ]";
+        }
+        break;
+      }
+      case Opcode::SExt:
+      case Opcode::ZExt:
+      case Opcode::Trunc:
+      case Opcode::SIToFP:
+      case Opcode::FPToSI:
+      case Opcode::FPExt:
+      case Opcode::FPTrunc:
+        os << opcodeName(inst->opcode()) << " "
+           << typedOperand(inst->operand(0)) << " to "
+           << inst->type()->str();
+        break;
+      case Opcode::Call: {
+        os << "call " << inst->type()->str() << " @"
+           << inst->callee()->name() << "(";
+        for (size_t i = 0; i < inst->numOperands(); ++i) {
+            if (i)
+                os << ", ";
+            os << typedOperand(inst->operand(i));
+        }
+        os << ")";
+        break;
+      }
+      default:
+        // Binary arithmetic.
+        os << opcodeName(inst->opcode()) << " "
+           << inst->type()->str() << " "
+           << printOperand(inst->operand(0)) << ", "
+           << printOperand(inst->operand(1));
+        break;
+    }
+    return os.str();
+}
+
+std::string
+printFunction(Function *func)
+{
+    func->renumber();
+    std::ostringstream os;
+    os << "define " << func->returnType()->str() << " @"
+       << func->name() << "(";
+    for (size_t i = 0; i < func->numArgs(); ++i) {
+        if (i)
+            os << ", ";
+        os << func->arg(i)->type()->str() << " "
+           << printOperand(func->arg(i));
+    }
+    os << ")";
+    if (func->isDeclaration()) {
+        os << "\n";
+        return os.str();
+    }
+    os << " {\n";
+    for (const auto &bb : func->blocks()) {
+        os << bb->name() << ":\n";
+        for (const auto &inst : bb->insts())
+            os << "  " << printInstruction(inst.get()) << "\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printModule(Module &module)
+{
+    std::ostringstream os;
+    for (const auto &g : module.globals()) {
+        os << "@" << g->name() << " = global "
+           << g->storedType()->str() << "\n";
+    }
+    if (!module.globals().empty())
+        os << "\n";
+    for (const auto &f : module.functions()) {
+        os << printFunction(f.get());
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace repro::ir

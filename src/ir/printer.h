@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Textual printer for the SSA IR (LLVM-like syntax).
+ */
+#ifndef IR_PRINTER_H
+#define IR_PRINTER_H
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace repro::ir {
+
+/** Render one instruction, e.g. "%1 = add i64 %a, %b". */
+std::string printInstruction(const Instruction *inst);
+
+/** Render a whole function. Assigns ids to unnamed values. */
+std::string printFunction(Function *func);
+
+/** Render the module: globals then functions. */
+std::string printModule(Module &module);
+
+/** Operand rendering: "%name", "@glob" or a literal. */
+std::string printOperand(const Value *v);
+
+} // namespace repro::ir
+
+#endif // IR_PRINTER_H

@@ -1,0 +1,173 @@
+#include "ir/verifier.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ir/printer.h"
+
+namespace repro::ir {
+
+namespace {
+
+void
+check(std::vector<std::string> &problems, bool cond,
+      const Instruction *inst, const std::string &msg)
+{
+    if (!cond) {
+        std::ostringstream os;
+        os << msg << " in: " << printInstruction(inst);
+        problems.push_back(os.str());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+verifyFunction(Function *func)
+{
+    std::vector<std::string> problems;
+    if (func->isDeclaration())
+        return problems;
+
+    for (const auto &bb : func->blocks()) {
+        if (!bb->terminator()) {
+            problems.push_back("block %" + bb->name() +
+                               " has no terminator");
+            continue;
+        }
+        auto preds = bb->predecessors();
+        bool past_phis = false;
+        for (size_t i = 0; i < bb->size(); ++i) {
+            Instruction *inst = bb->insts()[i].get();
+            if (inst->isTerminator() && i + 1 != bb->size()) {
+                check(problems, false, inst,
+                      "terminator not at end of block");
+            }
+            if (inst->is(Opcode::Phi)) {
+                check(problems, !past_phis, inst,
+                      "phi after non-phi instruction");
+                check(problems,
+                      inst->numOperands() == preds.size(), inst,
+                      "phi incoming count differs from predecessors");
+                for (BasicBlock *in : inst->incomingBlocks()) {
+                    check(problems,
+                          std::find(preds.begin(), preds.end(), in) !=
+                              preds.end(),
+                          inst, "phi incoming from non-predecessor");
+                }
+                for (Value *v : inst->operands()) {
+                    check(problems, v->type() == inst->type(), inst,
+                          "phi incoming type mismatch");
+                }
+            } else {
+                past_phis = true;
+            }
+
+            switch (inst->opcode()) {
+              case Opcode::Load:
+                check(problems, inst->operand(0)->type()->isPointer(),
+                      inst, "load from non-pointer");
+                break;
+              case Opcode::Store:
+                check(problems, inst->operand(1)->type()->isPointer(),
+                      inst, "store to non-pointer");
+                if (inst->operand(1)->type()->isPointer()) {
+                    check(problems,
+                          inst->operand(1)->type()->element() ==
+                              inst->operand(0)->type(),
+                          inst, "store value/pointer type mismatch");
+                }
+                break;
+              case Opcode::GEP:
+                check(problems, inst->operand(0)->type()->isPointer(),
+                      inst, "gep base not a pointer");
+                for (size_t k = 1; k < inst->numOperands(); ++k) {
+                    check(problems,
+                          inst->operand(k)->type()->isInteger(), inst,
+                          "gep index not an integer");
+                }
+                break;
+              case Opcode::Br:
+                if (inst->isConditionalBranch()) {
+                    check(problems, inst->operand(0)->type()->isI1(),
+                          inst, "branch condition not i1");
+                    check(problems, inst->blockTargets().size() == 2,
+                          inst, "conditional branch needs 2 targets");
+                } else {
+                    check(problems, inst->blockTargets().size() == 1,
+                          inst, "unconditional branch needs 1 target");
+                }
+                break;
+              case Opcode::Ret:
+                if (func->returnType()->isVoid()) {
+                    check(problems, inst->numOperands() == 0, inst,
+                          "ret with value in void function");
+                } else {
+                    check(problems,
+                          inst->numOperands() == 1 &&
+                              inst->operand(0)->type() ==
+                                  func->returnType(),
+                          inst, "ret type mismatch");
+                }
+                break;
+              case Opcode::Add:
+              case Opcode::Sub:
+              case Opcode::Mul:
+              case Opcode::SDiv:
+              case Opcode::SRem:
+              case Opcode::And:
+              case Opcode::Or:
+              case Opcode::Xor:
+              case Opcode::Shl:
+              case Opcode::AShr:
+                check(problems,
+                      inst->type()->isInteger() &&
+                          inst->operand(0)->type() == inst->type() &&
+                          inst->operand(1)->type() == inst->type(),
+                      inst, "integer binary type mismatch");
+                break;
+              case Opcode::FAdd:
+              case Opcode::FSub:
+              case Opcode::FMul:
+              case Opcode::FDiv:
+                check(problems,
+                      inst->type()->isFloatingPoint() &&
+                          inst->operand(0)->type() == inst->type() &&
+                          inst->operand(1)->type() == inst->type(),
+                      inst, "float binary type mismatch");
+                break;
+              case Opcode::Call: {
+                const auto &params =
+                    inst->callee()->functionType()->params();
+                check(problems, inst->numOperands() == params.size(),
+                      inst, "call argument count mismatch");
+                if (inst->numOperands() == params.size()) {
+                    for (size_t k = 0; k < params.size(); ++k) {
+                        check(problems,
+                              inst->operand(k)->type() == params[k],
+                              inst, "call argument type mismatch");
+                    }
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    return problems;
+}
+
+std::vector<std::string>
+verifyModule(Module &module)
+{
+    std::vector<std::string> problems;
+    for (const auto &f : module.functions()) {
+        auto p = verifyFunction(f.get());
+        for (auto &msg : p)
+            problems.push_back("@" + f->name() + ": " + msg);
+    }
+    return problems;
+}
+
+} // namespace repro::ir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Structural verifier for the SSA IR.
+ */
+#ifndef IR_VERIFIER_H
+#define IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace repro::ir {
+
+/**
+ * Check structural well-formedness of @p func:
+ *  - every block ends in exactly one terminator;
+ *  - phis are grouped at block starts and cover each predecessor once;
+ *  - operand types are consistent per opcode;
+ *  - stores/loads go through pointer operands.
+ *
+ * Returns a list of human-readable problems (empty when valid).
+ */
+std::vector<std::string> verifyFunction(Function *func);
+
+/** Verify every function in @p module. */
+std::vector<std::string> verifyModule(Module &module);
+
+} // namespace repro::ir
+
+#endif // IR_VERIFIER_H

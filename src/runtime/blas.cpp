@@ -1,0 +1,70 @@
+#include "runtime/blas.h"
+
+namespace repro::runtime::blas {
+
+namespace {
+
+template <typename T>
+void
+gemmImpl(T *c, int64_t c0, int64_t c1, const T *a, int64_t a0,
+         int64_t a2, const T *b, int64_t b1, int64_t b2, int64_t m,
+         int64_t n, int64_t kk, T alpha, T beta)
+{
+    for (int64_t i0 = 0; i0 < m; ++i0) {
+        for (int64_t i1 = 0; i1 < n; ++i1) {
+            T acc = 0;
+            for (int64_t k = 0; k < kk; ++k)
+                acc += a[i0 * a0 + k * a2] * b[i1 * b1 + k * b2];
+            T &out = c[i0 * c0 + i1 * c1];
+            out = beta * out + alpha * acc;
+        }
+    }
+}
+
+} // namespace
+
+void
+gemm(double *c, int64_t c0, int64_t c1, const double *a, int64_t a0,
+     int64_t a2, const double *b, int64_t b1, int64_t b2, int64_t m,
+     int64_t n, int64_t kk, double alpha, double beta)
+{
+    gemmImpl(c, c0, c1, a, a0, a2, b, b1, b2, m, n, kk, alpha, beta);
+}
+
+void
+sgemm(float *c, int64_t c0, int64_t c1, const float *a, int64_t a0,
+      int64_t a2, const float *b, int64_t b1, int64_t b2, int64_t m,
+      int64_t n, int64_t kk, float alpha, float beta)
+{
+    gemmImpl(c, c0, c1, a, a0, a2, b, b1, b2, m, n, kk, alpha, beta);
+}
+
+void
+gemv(double *y, const double *a, int64_t lda, const double *x,
+     int64_t m, int64_t n, double alpha, double beta)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        double acc = 0;
+        for (int64_t j = 0; j < n; ++j)
+            acc += a[i * lda + j] * x[j];
+        y[i] = beta * y[i] + alpha * acc;
+    }
+}
+
+double
+dot(const double *x, const double *y, int64_t n)
+{
+    double acc = 0;
+    for (int64_t i = 0; i < n; ++i)
+        acc += x[i] * y[i];
+    return acc;
+}
+
+void
+axpy(double *y, const double *x, double a, int64_t n)
+{
+    for (int64_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+}
+
+} // namespace repro::runtime::blas

@@ -1,0 +1,192 @@
+#include "runtime/halide_like.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace repro::runtime::halide {
+
+Buffer
+Buffer::make(std::vector<int64_t> dims)
+{
+    Buffer b;
+    b.dims = std::move(dims);
+    int64_t total = 1;
+    for (int64_t d : b.dims)
+        total *= d;
+    b.data.assign(static_cast<size_t>(total), 0.0);
+    return b;
+}
+
+Expr
+constant(double v)
+{
+    auto e = std::make_shared<ExprNode>(ExprNode::Kind::Const);
+    e->constant = v;
+    return e;
+}
+
+Expr
+inputAt(int input_index, std::vector<int64_t> offsets)
+{
+    auto e = std::make_shared<ExprNode>(ExprNode::Kind::InputAccess);
+    e->inputIndex = input_index;
+    e->offsets = std::move(offsets);
+    return e;
+}
+
+namespace {
+
+Expr
+binary(ExprNode::Kind kind, Expr a, Expr b)
+{
+    auto e = std::make_shared<ExprNode>(kind);
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+}
+
+} // namespace
+
+Expr
+operator+(Expr a, Expr b)
+{
+    return binary(ExprNode::Kind::Add, std::move(a), std::move(b));
+}
+Expr
+operator-(Expr a, Expr b)
+{
+    return binary(ExprNode::Kind::Sub, std::move(a), std::move(b));
+}
+Expr
+operator*(Expr a, Expr b)
+{
+    return binary(ExprNode::Kind::Mul, std::move(a), std::move(b));
+}
+Expr
+operator/(Expr a, Expr b)
+{
+    return binary(ExprNode::Kind::Div, std::move(a), std::move(b));
+}
+
+std::string
+Schedule::str() const
+{
+    std::ostringstream os;
+    os << "schedule{";
+    if (tileX > 0)
+        os << " tile(" << tileX << "," << tileY << ")";
+    if (parallelOuter)
+        os << " parallel(y)";
+    if (vectorWidth > 1)
+        os << " vectorize(x," << vectorWidth << ")";
+    os << " }";
+    return os.str();
+}
+
+double
+Func::evalAt(const Expr &e, const std::vector<const Buffer *> &inputs,
+             const std::vector<int64_t> &pos) const
+{
+    switch (e->kind) {
+      case ExprNode::Kind::Const:
+        return e->constant;
+      case ExprNode::Kind::InputAccess: {
+        const Buffer *buf = inputs[static_cast<size_t>(e->inputIndex)];
+        std::vector<int64_t> shifted = pos;
+        for (size_t d = 0; d < shifted.size() && d < e->offsets.size();
+             ++d) {
+            shifted[d] += e->offsets[d];
+        }
+        return buf->at(shifted);
+      }
+      case ExprNode::Kind::Add:
+        return evalAt(e->lhs, inputs, pos) + evalAt(e->rhs, inputs, pos);
+      case ExprNode::Kind::Sub:
+        return evalAt(e->lhs, inputs, pos) - evalAt(e->rhs, inputs, pos);
+      case ExprNode::Kind::Mul:
+        return evalAt(e->lhs, inputs, pos) * evalAt(e->rhs, inputs, pos);
+      case ExprNode::Kind::Div:
+        return evalAt(e->lhs, inputs, pos) / evalAt(e->rhs, inputs, pos);
+    }
+    throw InternalError("halide eval: unhandled node");
+}
+
+Buffer
+Func::realize(const std::vector<int64_t> &shape,
+              const std::vector<const Buffer *> &inputs) const
+{
+    reproAssert(body_ != nullptr, "Func::realize without definition");
+    Buffer out = Buffer::make(shape);
+    std::vector<int64_t> pos(shape.size(), 0);
+    size_t total = out.data.size();
+    for (size_t linear = 0; linear < total; ++linear) {
+        size_t rem = linear;
+        for (size_t d = shape.size(); d > 0; --d) {
+            pos[d - 1] = static_cast<int64_t>(
+                rem % static_cast<size_t>(shape[d - 1]));
+            rem /= static_cast<size_t>(shape[d - 1]);
+        }
+        out.data[linear] = evalAt(body_, inputs, pos);
+    }
+    return out;
+}
+
+namespace {
+
+void
+renderExpr(const Expr &e, std::ostringstream &os)
+{
+    switch (e->kind) {
+      case ExprNode::Kind::Const:
+        os << e->constant;
+        break;
+      case ExprNode::Kind::InputAccess: {
+        os << "in" << e->inputIndex << "(";
+        for (size_t d = 0; d < e->offsets.size(); ++d) {
+            if (d)
+                os << ", ";
+            os << "xyz"[d % 3];
+            if (e->offsets[d] > 0)
+                os << "+" << e->offsets[d];
+            else if (e->offsets[d] < 0)
+                os << e->offsets[d];
+        }
+        os << ")";
+        break;
+      }
+      case ExprNode::Kind::Add:
+      case ExprNode::Kind::Sub:
+      case ExprNode::Kind::Mul:
+      case ExprNode::Kind::Div: {
+        const char *op =
+            e->kind == ExprNode::Kind::Add   ? " + "
+            : e->kind == ExprNode::Kind::Sub ? " - "
+            : e->kind == ExprNode::Kind::Mul ? " * "
+                                             : " / ";
+        os << "(";
+        renderExpr(e->lhs, os);
+        os << op;
+        renderExpr(e->rhs, os);
+        os << ")";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+Func::compileToSource() const
+{
+    std::ostringstream os;
+    os << "// mini-Halide lowering of Func '" << name_ << "' with "
+       << schedule_.str() << "\n";
+    os << name_ << "(x, y, z) = ";
+    if (body_)
+        renderExpr(body_, os);
+    os << ";\n";
+    return os.str();
+}
+
+} // namespace repro::runtime::halide

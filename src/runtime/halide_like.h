@@ -1,0 +1,126 @@
+/**
+ * @file
+ * A miniature Halide: pure grid functions with clamped input
+ * accesses, a separate schedule, and a CPU realizer.
+ *
+ * Stands in for the Halide compiler (Ragan-Kelley et al., PLDI'13)
+ * the paper targets for stencil idioms. The functional description
+ * (what each output pixel is) is separated from the schedule (tiling,
+ * parallelization, vectorization) exactly as in Halide; the schedule
+ * feeds the device model rather than actual codegen.
+ */
+#ifndef RUNTIME_HALIDE_LIKE_H
+#define RUNTIME_HALIDE_LIKE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::runtime::halide {
+
+/** A dense n-dimensional buffer of doubles. */
+struct Buffer
+{
+    std::vector<int64_t> dims; ///< outermost first
+    std::vector<double> data;
+
+    static Buffer make(std::vector<int64_t> dims);
+
+    int64_t
+    index(const std::vector<int64_t> &pos) const
+    {
+        int64_t idx = 0;
+        for (size_t d = 0; d < dims.size(); ++d) {
+            int64_t p = pos[d];
+            if (p < 0)
+                p = 0;
+            if (p >= dims[d])
+                p = dims[d] - 1; // clamp-to-edge boundary
+            idx = idx * dims[d] + p;
+        }
+        return idx;
+    }
+
+    double at(const std::vector<int64_t> &pos) const
+    {
+        return data[static_cast<size_t>(index(pos))];
+    }
+};
+
+class ExprNode;
+using Expr = std::shared_ptr<ExprNode>;
+
+/** Expression over grid coordinates. */
+class ExprNode
+{
+  public:
+    enum class Kind
+    {
+        Const,
+        InputAccess, ///< input buffer at (x+dx, y+dy, ...)
+        Add,
+        Sub,
+        Mul,
+        Div,
+    };
+
+    Kind kind;
+    double constant = 0.0;
+    int inputIndex = 0;
+    std::vector<int64_t> offsets;
+    Expr lhs, rhs;
+
+    explicit ExprNode(Kind k) : kind(k) {}
+};
+
+Expr constant(double v);
+/** Access input @p input_index displaced by @p offsets. */
+Expr inputAt(int input_index, std::vector<int64_t> offsets);
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+
+/** Recorded scheduling directives (cost model only). */
+struct Schedule
+{
+    int tileX = 0;
+    int tileY = 0;
+    bool parallelOuter = false;
+    int vectorWidth = 1;
+
+    std::string str() const;
+};
+
+/** A pure grid function: out(pos) = expr(inputs, pos). */
+class Func
+{
+  public:
+    explicit Func(std::string name) : name_(std::move(name)) {}
+
+    void define(Expr body) { body_ = std::move(body); }
+    Schedule &schedule() { return schedule_; }
+
+    /** Evaluate over the full grid of @p shape. */
+    Buffer realize(const std::vector<int64_t> &shape,
+                   const std::vector<const Buffer *> &inputs) const;
+
+    /** Pseudo-C code for inspection. */
+    std::string compileToSource() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    double evalAt(const Expr &e,
+                  const std::vector<const Buffer *> &inputs,
+                  const std::vector<int64_t> &pos) const;
+
+    std::string name_;
+    Expr body_;
+    Schedule schedule_;
+};
+
+} // namespace repro::runtime::halide
+
+#endif // RUNTIME_HALIDE_LIKE_H

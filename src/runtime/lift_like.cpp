@@ -1,0 +1,300 @@
+#include "runtime/lift_like.h"
+
+#include <sstream>
+
+#include "support/diagnostics.h"
+
+namespace repro::runtime::lift {
+
+Value
+Value::fromVector(const std::vector<double> &data)
+{
+    std::vector<Value> items;
+    items.reserve(data.size());
+    for (double d : data)
+        items.emplace_back(d);
+    return Value(std::move(items));
+}
+
+Value
+Value::fromMatrix(const std::vector<double> &data, size_t rows,
+                  size_t cols)
+{
+    reproAssert(data.size() == rows * cols,
+                "fromMatrix: size mismatch");
+    std::vector<Value> out;
+    out.reserve(rows);
+    for (size_t i = 0; i < rows; ++i) {
+        std::vector<Value> row;
+        row.reserve(cols);
+        for (size_t j = 0; j < cols; ++j)
+            row.emplace_back(data[i * cols + j]);
+        out.emplace_back(std::move(row));
+    }
+    return Value(std::move(out));
+}
+
+std::vector<double>
+Value::toVector() const
+{
+    std::vector<double> out;
+    out.reserve(items_.size());
+    for (const Value &v : items_) {
+        reproAssert(v.isScalar(), "toVector: nested value");
+        out.push_back(v.scalar());
+    }
+    return out;
+}
+
+ExprPtr
+input(Value v, std::string label)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Input);
+    e->input = std::move(v);
+    e->label = std::move(label);
+    return e;
+}
+
+ExprPtr
+zip(ExprPtr a, ExprPtr b)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Zip);
+    e->args = {std::move(a), std::move(b)};
+    return e;
+}
+
+ExprPtr
+map(Fn1 fn, ExprPtr arg, std::string label)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Map);
+    e->mapFn = std::move(fn);
+    e->args = {std::move(arg)};
+    e->label = std::move(label);
+    return e;
+}
+
+ExprPtr
+reduce(Fn2 fn, Value init, ExprPtr arg, std::string label)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Reduce);
+    e->reduceFn = std::move(fn);
+    e->reduceInit = std::move(init);
+    e->args = {std::move(arg)};
+    e->label = std::move(label);
+    return e;
+}
+
+ExprPtr
+transpose(ExprPtr arg)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Transpose);
+    e->args = {std::move(arg)};
+    return e;
+}
+
+ExprPtr
+slide(size_t size, size_t step, ExprPtr arg)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Slide);
+    e->slideSize = size;
+    e->slideStep = step;
+    e->args = {std::move(arg)};
+    return e;
+}
+
+ExprPtr
+join(ExprPtr arg)
+{
+    auto e = std::make_shared<Expr>(Expr::Kind::Join);
+    e->args = {std::move(arg)};
+    return e;
+}
+
+Value
+eval(const ExprPtr &expr)
+{
+    switch (expr->kind) {
+      case Expr::Kind::Input:
+        return expr->input;
+      case Expr::Kind::Zip: {
+        Value a = eval(expr->args[0]);
+        Value b = eval(expr->args[1]);
+        reproAssert(a.size() == b.size(), "zip: length mismatch");
+        std::vector<Value> out;
+        out.reserve(a.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            out.emplace_back(std::vector<Value>{a.items()[i],
+                                                b.items()[i]});
+        }
+        return Value(std::move(out));
+      }
+      case Expr::Kind::Map: {
+        Value v = eval(expr->args[0]);
+        std::vector<Value> out;
+        out.reserve(v.size());
+        for (const Value &item : v.items())
+            out.push_back(expr->mapFn(item));
+        return Value(std::move(out));
+      }
+      case Expr::Kind::Reduce: {
+        Value v = eval(expr->args[0]);
+        Value acc = expr->reduceInit;
+        for (const Value &item : v.items())
+            acc = expr->reduceFn(acc, item);
+        return acc;
+      }
+      case Expr::Kind::Transpose: {
+        Value v = eval(expr->args[0]);
+        if (v.size() == 0)
+            return v;
+        size_t cols = v.items()[0].size();
+        std::vector<Value> out;
+        out.reserve(cols);
+        for (size_t j = 0; j < cols; ++j) {
+            std::vector<Value> row;
+            row.reserve(v.size());
+            for (size_t i = 0; i < v.size(); ++i)
+                row.push_back(v.items()[i].items()[j]);
+            out.emplace_back(std::move(row));
+        }
+        return Value(std::move(out));
+      }
+      case Expr::Kind::Slide: {
+        Value v = eval(expr->args[0]);
+        std::vector<Value> out;
+        for (size_t start = 0;
+             start + expr->slideSize <= v.size();
+             start += expr->slideStep) {
+            std::vector<Value> window(
+                v.items().begin() + static_cast<ptrdiff_t>(start),
+                v.items().begin() +
+                    static_cast<ptrdiff_t>(start + expr->slideSize));
+            out.emplace_back(std::move(window));
+        }
+        return Value(std::move(out));
+      }
+      case Expr::Kind::Join: {
+        Value v = eval(expr->args[0]);
+        std::vector<Value> out;
+        for (const Value &row : v.items()) {
+            for (const Value &item : row.items())
+                out.push_back(item);
+        }
+        return Value(std::move(out));
+      }
+    }
+    throw InternalError("lift eval: unhandled node");
+}
+
+namespace {
+
+void
+renderExpr(const ExprPtr &expr, std::ostringstream &os, int indent)
+{
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    switch (expr->kind) {
+      case Expr::Kind::Input:
+        os << pad << expr->label;
+        break;
+      case Expr::Kind::Zip:
+        os << pad << "zip(\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ",\n";
+        renderExpr(expr->args[1], os, indent + 1);
+        os << ")";
+        break;
+      case Expr::Kind::Map:
+        os << pad << "mapGlobal(" << expr->label << ",\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ")";
+        break;
+      case Expr::Kind::Reduce:
+        os << pad << "reduceSeq(" << expr->label << ", init,\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ")";
+        break;
+      case Expr::Kind::Transpose:
+        os << pad << "transpose(\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ")";
+        break;
+      case Expr::Kind::Slide:
+        os << pad << "slide(" << expr->slideSize << ", "
+           << expr->slideStep << ",\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ")";
+        break;
+      case Expr::Kind::Join:
+        os << pad << "join(\n";
+        renderExpr(expr->args[0], os, indent + 1);
+        os << ")";
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+generateOpenCl(const ExprPtr &expr, const std::string &kernel_name)
+{
+    std::ostringstream os;
+    os << "// OpenCL generated by mini-Lift (rewrite rules applied: "
+          "mapGlobal, reduceSeq)\n";
+    os << "__kernel void " << kernel_name
+       << "(__global const float *in, __global float *out) {\n";
+    os << "  // pattern tree:\n";
+    std::ostringstream tree;
+    renderExpr(expr, tree, 1);
+    for (const auto &line : std::vector<std::string>{tree.str()})
+        os << "  //" << line << "\n";
+    os << "  const size_t gid = get_global_id(0);\n";
+    os << "  // ... pattern-specific body elided ...\n";
+    os << "}\n";
+    return os.str();
+}
+
+Value
+gemmInLift(const std::vector<double> &a, const std::vector<double> &b,
+           const std::vector<double> &c, size_t m, size_t n, size_t k,
+           double alpha, double beta)
+{
+    // Figure 15: map over rows of A zipped with rows of C; inside,
+    // map over columns of B zipped with c elements; dot product via
+    // zip/map/reduce.
+    Fn1 mult = [](const Value &pair) {
+        return Value(pair.items()[0].scalar() *
+                     pair.items()[1].scalar());
+    };
+    Fn2 add = [](const Value &x, const Value &y) {
+        return Value(x.scalar() + y.scalar());
+    };
+
+    ExprPtr A = input(Value::fromMatrix(a, m, k), "A");
+    ExprPtr C = input(Value::fromMatrix(c, m, n), "C");
+    Value Bt = eval(transpose(input(Value::fromMatrix(b, k, n), "B")));
+
+    Value Av = eval(A);
+    Value Cv = eval(C);
+    std::vector<Value> out_rows;
+    for (size_t i = 0; i < m; ++i) {
+        const Value &a_row = Av.items()[i];
+        const Value &c_row = Cv.items()[i];
+        std::vector<Value> out_row;
+        for (size_t j = 0; j < n; ++j) {
+            ExprPtr dotExpr = reduce(
+                add, Value(0.0),
+                map(mult,
+                    zip(input(a_row, "a_row"),
+                        input(Bt.items()[j], "b_col")),
+                    "mult"),
+                "add");
+            double ab = eval(dotExpr).scalar();
+            out_row.emplace_back(alpha * ab +
+                                 beta * c_row.items()[j].scalar());
+        }
+        out_rows.emplace_back(std::move(out_row));
+    }
+    return Value(std::move(out_rows));
+}
+
+} // namespace repro::runtime::lift

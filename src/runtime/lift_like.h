@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A miniature Lift: functional data-parallel patterns (zip, map,
+ * reduce, transpose, slide) with an evaluator and a pseudo-OpenCL
+ * code generator.
+ *
+ * Stands in for the Lift code generator of Steuwer et al. (CGO'17)
+ * that the paper uses as a DSL backend: matched reductions, stencils
+ * and linear algebra idioms are rebuilt as Lift expressions
+ * (Figure 15 shows gemm_in_lift) and "compiled" for the device model.
+ */
+#ifndef RUNTIME_LIFT_LIKE_H
+#define RUNTIME_LIFT_LIKE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repro::runtime::lift {
+
+/** A Lift value: a scalar or a nested array. */
+class Value
+{
+  public:
+    Value() = default;
+    explicit Value(double scalar) : scalar_(scalar), isScalar_(true) {}
+    explicit Value(std::vector<Value> items)
+        : items_(std::move(items))
+    {}
+
+    static Value fromVector(const std::vector<double> &data);
+    static Value fromMatrix(const std::vector<double> &data,
+                            size_t rows, size_t cols);
+
+    bool isScalar() const { return isScalar_; }
+    double scalar() const { return scalar_; }
+    const std::vector<Value> &items() const { return items_; }
+    size_t size() const { return items_.size(); }
+
+    std::vector<double> toVector() const;
+
+  private:
+    double scalar_ = 0.0;
+    std::vector<Value> items_;
+    bool isScalar_ = false;
+};
+
+/** A scalar function usable inside map/reduce. */
+using Fn1 = std::function<Value(const Value &)>;
+using Fn2 = std::function<Value(const Value &, const Value &)>;
+
+class Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/** One node of a Lift expression. */
+class Expr
+{
+  public:
+    enum class Kind
+    {
+        Input,
+        Zip,
+        Map,
+        Reduce,
+        Transpose,
+        Slide,
+        Join,
+    };
+
+    Kind kind;
+    std::string label;           ///< for codegen output
+    Value input;                 ///< Input
+    std::vector<ExprPtr> args;   ///< children
+    Fn1 mapFn;
+    Fn2 reduceFn;
+    Value reduceInit;
+    size_t slideSize = 0;
+    size_t slideStep = 1;
+
+    explicit Expr(Kind k) : kind(k) {}
+};
+
+// Constructors (the Lift surface language).
+ExprPtr input(Value v, std::string label = "in");
+ExprPtr zip(ExprPtr a, ExprPtr b);
+ExprPtr map(Fn1 fn, ExprPtr e, std::string label = "f");
+ExprPtr reduce(Fn2 fn, Value init, ExprPtr e,
+               std::string label = "op");
+ExprPtr transpose(ExprPtr e);
+/** Sliding window (the Lift stencil primitive). */
+ExprPtr slide(size_t size, size_t step, ExprPtr e);
+ExprPtr join(ExprPtr e);
+
+/** Evaluate an expression tree. */
+Value eval(const ExprPtr &expr);
+
+/**
+ * Render the expression as pseudo-OpenCL (what Lift's rewrite-based
+ * compiler would emit), for inspection and examples.
+ */
+std::string generateOpenCl(const ExprPtr &expr,
+                           const std::string &kernel_name);
+
+/** The gemm_in_lift composition of Figure 15. */
+Value gemmInLift(const std::vector<double> &a,
+                 const std::vector<double> &b,
+                 const std::vector<double> &c, size_t m, size_t n,
+                 size_t k, double alpha, double beta);
+
+} // namespace repro::runtime::lift
+
+#endif // RUNTIME_LIFT_LIKE_H

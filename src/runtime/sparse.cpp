@@ -1,0 +1,68 @@
+#include "runtime/sparse.h"
+
+namespace repro::runtime::sparse {
+
+void
+csrmv(int64_t row_begin, int64_t row_end, const int32_t *rowstr,
+      const int32_t *colidx, const double *a, const double *z,
+      double *r)
+{
+    for (int64_t j = row_begin; j < row_end; ++j) {
+        double d = 0.0;
+        for (int32_t k = rowstr[j]; k < rowstr[j + 1]; ++k)
+            d += a[k] * z[colidx[k]];
+        r[j] = d;
+    }
+}
+
+void
+csrmv(const CsrMatrix &m, const double *z, double *r)
+{
+    csrmv(0, m.rows, m.rowstr.data(), m.colidx.data(),
+          m.values.data(), z, r);
+}
+
+CsrMatrix
+makeBandedMatrix(int64_t n, int band, unsigned seed)
+{
+    CsrMatrix m;
+    m.rows = n;
+    m.cols = n;
+    m.rowstr.push_back(0);
+    unsigned state = seed * 2654435761u + 1;
+    auto rnd = [&]() {
+        state = state * 1664525u + 1013904223u;
+        return (state >> 8) & 0xffff;
+    };
+    for (int64_t i = 0; i < n; ++i) {
+        for (int d = -band; d <= band; ++d) {
+            int64_t j = i + d;
+            if (j < 0 || j >= n)
+                continue;
+            // Drop some entries pseudo-randomly for irregularity.
+            if (d != 0 && rnd() % 3 == 0)
+                continue;
+            m.colidx.push_back(static_cast<int32_t>(j));
+            m.values.push_back(1.0 + (rnd() % 100) / 100.0);
+        }
+        m.rowstr.push_back(static_cast<int32_t>(m.colidx.size()));
+    }
+    return m;
+}
+
+void
+ellmv(int64_t rows, int64_t max_nz, const int32_t *indices,
+      const double *data, const double *x, double *y)
+{
+    for (int64_t i = 0; i < rows; ++i) {
+        double acc = 0.0;
+        for (int64_t k = 0; k < max_nz; ++k) {
+            int32_t col = indices[k * rows + i];
+            if (col >= 0)
+                acc += data[k * rows + i] * x[col];
+        }
+        y[i] = acc;
+    }
+}
+
+} // namespace repro::runtime::sparse

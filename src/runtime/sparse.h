@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sparse linear algebra reference implementations (the cuSPARSE /
+ * clSPARSE / libSPMV stand-ins of section 5.1).
+ */
+#ifndef RUNTIME_SPARSE_H
+#define RUNTIME_SPARSE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::runtime::sparse {
+
+/** A matrix in Compressed Sparse Row format. */
+struct CsrMatrix
+{
+    int64_t rows = 0;
+    int64_t cols = 0;
+    std::vector<int32_t> rowstr; ///< rows+1 entries
+    std::vector<int32_t> colidx;
+    std::vector<double> values;
+
+    int64_t nnz() const { return static_cast<int64_t>(values.size()); }
+};
+
+/**
+ * r = A * z over CSR arrays (the cusparseDcsrmv analogue of
+ * Figure 6). Raw-pointer interface so the interpreter binder can call
+ * straight into heap memory.
+ */
+void csrmv(int64_t row_begin, int64_t row_end, const int32_t *rowstr,
+           const int32_t *colidx, const double *a, const double *z,
+           double *r);
+
+/** Convenience overload for CsrMatrix. */
+void csrmv(const CsrMatrix &m, const double *z, double *r);
+
+/**
+ * Build a synthetic banded sparse matrix (used by benchmarks where
+ * the paper uses NAS-generated matrices).
+ */
+CsrMatrix makeBandedMatrix(int64_t n, int band, unsigned seed);
+
+/**
+ * The "libSPMV" custom kernel of section 8.3: the Parboil spmv
+ * benchmark uses a padded JDS-like format; this implements the same
+ * gather over a transposed-ELL layout.
+ */
+void ellmv(int64_t rows, int64_t max_nz, const int32_t *indices,
+           const double *data, const double *x, double *y);
+
+} // namespace repro::runtime::sparse
+
+#endif // RUNTIME_SPARSE_H

@@ -1,0 +1,541 @@
+#include "solver/atomics.h"
+
+#include <algorithm>
+
+#include "support/string_utils.h"
+
+namespace repro::solver {
+
+using analysis::FunctionAnalyses;
+using idl::AtomicKind;
+using idl::FlowKind;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+namespace {
+
+const Instruction *
+asInst(const Value *v)
+{
+    return v && v->isInstruction() ? static_cast<const Instruction *>(v)
+                                   : nullptr;
+}
+
+bool
+opcodeFromName(const std::string &name, Opcode &op)
+{
+    static const std::map<std::string, Opcode> table = {
+        {"add", Opcode::Add}, {"sub", Opcode::Sub},
+        {"mul", Opcode::Mul}, {"sdiv", Opcode::SDiv},
+        {"srem", Opcode::SRem}, {"fadd", Opcode::FAdd},
+        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
+        {"fdiv", Opcode::FDiv}, {"load", Opcode::Load},
+        {"store", Opcode::Store}, {"gep", Opcode::GEP},
+        {"getelementptr", Opcode::GEP}, {"alloca", Opcode::Alloca},
+        {"icmp", Opcode::ICmp}, {"fcmp", Opcode::FCmp},
+        {"select", Opcode::Select}, {"branch", Opcode::Br},
+        {"br", Opcode::Br}, {"return", Opcode::Ret},
+        {"ret", Opcode::Ret}, {"phi", Opcode::Phi},
+        {"sext", Opcode::SExt}, {"zext", Opcode::ZExt},
+        {"trunc", Opcode::Trunc}, {"sitofp", Opcode::SIToFP},
+        {"fptosi", Opcode::FPToSI}, {"fpext", Opcode::FPExt},
+        {"fptrunc", Opcode::FPTrunc}, {"call", Opcode::Call},
+    };
+    auto it = table.find(name);
+    if (it == table.end())
+        return false;
+    op = it->second;
+    return true;
+}
+
+/** Direct control flow edge a -> b at instruction granularity. */
+bool
+hasControlEdge(AtomContext &ctx, const Instruction *a,
+               const Instruction *b)
+{
+    return ctx.analyses->cfg().hasEdge(a, b);
+}
+
+/** Direct data flow edge a -> b (a is an operand of b). */
+bool
+hasDataEdge(const Value *a, const Instruction *b)
+{
+    if (!b)
+        return false;
+    for (const Value *op : b->operands()) {
+        if (op == a)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Kernel-closure check (the "all data flow into X inside R is killed
+ * by ..." extension). See DESIGN.md: inputs of the computation of
+ * @p out that live inside the region rooted at @p begin must all be
+ * listed in @p allowed; values defined outside the region (loop
+ * invariants), constants and arguments are implicitly available.
+ */
+bool
+evalKernelClosure(AtomContext &ctx, const Value *out,
+                  const Instruction *begin,
+                  const std::set<const Value *> &allowed)
+{
+    if (!begin)
+        return false;
+    const analysis::DomTree &dom = ctx.analyses->domTree();
+    auto in_region = [&](const Instruction *inst) {
+        return dom.dominates(begin, inst);
+    };
+
+    std::vector<const Value *> stack{out};
+    std::set<const Value *> seen{out};
+    while (!stack.empty()) {
+        const Value *v = stack.back();
+        stack.pop_back();
+        if (allowed.count(v))
+            continue;
+        if (v->isConstant() || v->isArgument() || v->isGlobal())
+            continue;
+        const Instruction *inst = asInst(v);
+        if (!inst)
+            return false;
+        if (!in_region(inst)) {
+            // Values defined before the region are available as
+            // call-time parameters — except phis, which are loop
+            // carried (e.g. the iterator) and must be listed
+            // explicitly to be kernel inputs.
+            if (inst->is(Opcode::Phi))
+                return false;
+            continue;
+        }
+        switch (inst->opcode()) {
+          case Opcode::Load:
+            // Unlisted memory reads inside the kernel are not well
+            // behaved.
+            return false;
+          case Opcode::Phi:
+            // In-region merges act as selects: recurse through all
+            // incoming values (their conditions are checked at
+            // transformation time).
+            break;
+          case Opcode::Call:
+            if (!inst->callee()->isDeclaration())
+                return false; // only pure builtins allowed
+            break;
+          case Opcode::Store:
+          case Opcode::Br:
+          case Opcode::Ret:
+          case Opcode::Alloca:
+            return false;
+          default:
+            break;
+        }
+        for (const Value *op : inst->operands()) {
+            if (seen.insert(op).second)
+                stack.push_back(op);
+        }
+    }
+    return true;
+}
+
+/**
+ * Data-flow dominance: every backward chain from @p b ends at leaves
+ * (constants/arguments/loads) only after passing @p a.
+ */
+bool
+dataFlowDominates(const Value *a, const Value *b)
+{
+    if (a == b)
+        return true;
+    const Instruction *inst = asInst(b);
+    if (!inst)
+        return false;
+    std::vector<const Value *> stack{b};
+    std::set<const Value *> seen{b};
+    while (!stack.empty()) {
+        const Value *v = stack.back();
+        stack.pop_back();
+        const Instruction *vi = asInst(v);
+        if (!vi)
+            return false; // reached a leaf without meeting a
+        for (const Value *op : vi->operands()) {
+            if (op == a)
+                continue;
+            if (seen.insert(op).second)
+                stack.push_back(op);
+        }
+        if (vi->numOperands() == 0 && v != b)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<const Value *>
+expandVarList(const std::vector<std::string> &names,
+              const Bindings &bound)
+{
+    std::vector<const Value *> out;
+    for (const std::string &name : names) {
+        size_t star = name.find("[*]");
+        if (star == std::string::npos) {
+            auto it = bound.find(name);
+            if (it != bound.end())
+                out.push_back(it->second);
+            continue;
+        }
+        for (int k = 0;; ++k) {
+            std::string expanded = name.substr(0, star) + "[" +
+                                   std::to_string(k) + "]" +
+                                   name.substr(star + 3);
+            auto it = bound.find(expanded);
+            if (it == bound.end())
+                break;
+            out.push_back(it->second);
+        }
+    }
+    return out;
+}
+
+bool
+isDeferredAtomic(const Node &node)
+{
+    if (node.atomic == AtomicKind::KernelClosure ||
+        node.atomic == AtomicKind::FlowKilledBy) {
+        return true;
+    }
+    for (const auto &list : node.varLists) {
+        for (const auto &name : list) {
+            if (name.find("[*]") != std::string::npos)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+evalAtomic(const Node &node, const Bindings &bound, AtomContext &ctx)
+{
+    auto get = [&](size_t i) -> const Value * {
+        auto it = bound.find(node.vars[i]);
+        return it == bound.end() ? nullptr : it->second;
+    };
+
+    switch (node.atomic) {
+      case AtomicKind::IsIntegerType:
+        return get(0) && get(0)->type()->isInteger();
+      case AtomicKind::IsFloatType:
+        return get(0) && get(0)->type()->isFloatingPoint();
+      case AtomicKind::IsPointerType:
+        return get(0) && get(0)->type()->isPointer();
+      case AtomicKind::IsConstantZero: {
+        const Value *v = get(0);
+        if (!v || !v->isConstant())
+            return false;
+        const auto *c = static_cast<const ir::Constant *>(v);
+        if (!c->isZero())
+            return false;
+        if (node.opcodeName == "integer")
+            return c->type()->isInteger();
+        if (node.opcodeName == "float")
+            return c->type()->isFloatingPoint();
+        return c->type()->isPointer();
+      }
+      case AtomicKind::IsUnused:
+        return get(0) && get(0)->unused();
+      case AtomicKind::IsConstant:
+        return get(0) && get(0)->isConstant();
+      case AtomicKind::IsCompileTimeValue:
+        return get(0) && (get(0)->isConstant() ||
+                          get(0)->isArgument() || get(0)->isGlobal());
+      case AtomicKind::IsArgument:
+        return get(0) && get(0)->isArgument();
+      case AtomicKind::IsInstruction:
+        return get(0) && get(0)->isInstruction();
+      case AtomicKind::IsOpcode: {
+        const Instruction *inst = asInst(get(0));
+        Opcode op;
+        if (!inst || !opcodeFromName(node.opcodeName, op))
+            return false;
+        return inst->opcode() == op;
+      }
+      case AtomicKind::Same:
+        return get(0) && get(0) == get(1);
+      case AtomicKind::NotSame:
+        return get(0) && get(1) && get(0) != get(1);
+      case AtomicKind::HasDataFlowTo:
+        return get(0) && hasDataEdge(get(0), asInst(get(1)));
+      case AtomicKind::HasDataFlowPathTo:
+        return get(0) && get(1) &&
+               analysis::dataPathExists(get(0), get(1), {});
+      case AtomicKind::HasControlFlowTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && hasControlEdge(ctx, a, b);
+      }
+      case AtomicKind::HasControlDominanceTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && ctx.analyses->hasControlDependenceEdge(a, b);
+      }
+      case AtomicKind::HasDependenceEdgeTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && ctx.analyses->hasMemoryDependenceEdge(a, b);
+      }
+      case AtomicKind::IsArgumentOf: {
+        const Instruction *b = asInst(get(1));
+        if (!b || !get(0))
+            return false;
+        size_t pos = static_cast<size_t>(node.argPosition - 1);
+        return pos < b->numOperands() && b->operand(pos) == get(0);
+      }
+      case AtomicKind::ReachesPhiFrom: {
+        const Instruction *phi = asInst(get(1));
+        const Instruction *branch = asInst(get(2));
+        const Value *v = get(0);
+        if (!phi || !branch || !v || !phi->is(Opcode::Phi))
+            return false;
+        for (size_t i = 0; i < phi->numOperands(); ++i) {
+            if (phi->operand(i) == v &&
+                phi->incomingBlocks()[i]->terminator() == branch) {
+                return true;
+            }
+        }
+        return false;
+      }
+      case AtomicKind::Dominates: {
+        const Value *a = get(0);
+        const Value *b = get(1);
+        if (!a || !b)
+            return false;
+        bool result;
+        if (node.flow == FlowKind::Data) {
+            result = dataFlowDominates(a, b);
+            if (node.strict && a == b)
+                result = false;
+        } else {
+            const Instruction *ia = asInst(a);
+            const Instruction *ib = asInst(b);
+            if (!ia || !ib)
+                return false;
+            const analysis::DomTree &tree =
+                node.postDom ? ctx.analyses->postDomTree()
+                             : ctx.analyses->domTree();
+            result = node.strict ? tree.strictlyDominates(ia, ib)
+                                 : tree.dominates(ia, ib);
+        }
+        return node.negated ? !result : result;
+      }
+      case AtomicKind::AllFlowPassesThrough: {
+        const Value *a = get(0);
+        const Value *b = get(1);
+        const Value *c = get(2);
+        if (!a || !b || !c)
+            return false;
+        if (a == c || b == c)
+            return true;
+        if (node.flow == FlowKind::Control) {
+            const Instruction *ia = asInst(a);
+            const Instruction *ib = asInst(b);
+            const Instruction *ic = asInst(c);
+            if (!ia || !ib || !ic)
+                return false;
+            return !ctx.analyses->cfg().pathExists(ia, ib, {ic});
+        }
+        if (node.flow == FlowKind::Data)
+            return !analysis::dataPathExists(a, b, {c});
+        return !analysis::anyFlowPathExists(ctx.analyses->cfg(), a, b,
+                                            {c});
+      }
+      case AtomicKind::FlowKilledBy: {
+        auto froms = expandVarList(node.varLists[0], bound);
+        auto tos = expandVarList(node.varLists[1], bound);
+        auto kills = expandVarList(node.varLists[2], bound);
+        std::set<const Value *> kill_set(kills.begin(), kills.end());
+        for (const Value *a : froms) {
+            for (const Value *b : tos) {
+                if (kill_set.count(a) || kill_set.count(b))
+                    continue;
+                bool path;
+                if (node.flow == FlowKind::Data) {
+                    path = analysis::dataPathExists(a, b, kill_set);
+                } else {
+                    path = analysis::anyFlowPathExists(
+                        ctx.analyses->cfg(), a, b, kill_set);
+                }
+                if (path)
+                    return false;
+            }
+        }
+        return true;
+      }
+      case AtomicKind::KernelClosure: {
+        const Value *out = get(0);
+        const Instruction *begin = asInst(get(1));
+        if (!out)
+            return false;
+        auto allowed_vec = expandVarList(node.varLists[0], bound);
+        std::set<const Value *> allowed(allowed_vec.begin(),
+                                        allowed_vec.end());
+        return evalKernelClosure(ctx, out, begin, allowed);
+      }
+    }
+    return false;
+}
+
+std::optional<std::vector<const Value *>>
+genCandidates(const Node &node, size_t var_index, const Bindings &bound,
+              AtomContext &ctx)
+{
+    auto get = [&](size_t i) -> const Value * {
+        auto it = bound.find(node.vars[i]);
+        return it == bound.end() ? nullptr : it->second;
+    };
+    std::vector<const Value *> out;
+
+    switch (node.atomic) {
+      case AtomicKind::IsOpcode: {
+        Opcode op;
+        if (!opcodeFromName(node.opcodeName, op))
+            return out; // unknown opcode: empty set
+        auto it = ctx.byOpcode->find(op);
+        if (it != ctx.byOpcode->end())
+            return it->second;
+        return out;
+      }
+      case AtomicKind::IsInstruction: {
+        for (const Value *v : *ctx.universe) {
+            if (v->isInstruction())
+                out.push_back(v);
+        }
+        return out;
+      }
+      case AtomicKind::IsArgument:
+        return *ctx.arguments;
+      case AtomicKind::IsConstant:
+      case AtomicKind::IsConstantZero: {
+        for (const Value *v : *ctx.constants) {
+            if (node.atomic == AtomicKind::IsConstant ||
+                static_cast<const ir::Constant *>(v)->isZero()) {
+                out.push_back(v);
+            }
+        }
+        return out;
+      }
+      case AtomicKind::IsCompileTimeValue: {
+        for (const Value *v : *ctx.universe) {
+            if (v->isConstant() || v->isArgument() || v->isGlobal())
+                out.push_back(v);
+        }
+        return out;
+      }
+      case AtomicKind::Same: {
+        const Value *other = get(var_index == 0 ? 1 : 0);
+        if (other) {
+            out.push_back(other);
+            return out;
+        }
+        return std::nullopt;
+      }
+      case AtomicKind::IsArgumentOf: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return std::nullopt;
+            size_t pos = static_cast<size_t>(node.argPosition - 1);
+            if (pos < b->numOperands())
+                out.push_back(b->operand(pos));
+            return out;
+        }
+        const Value *a = get(0);
+        if (!a)
+            return std::nullopt;
+        size_t pos = static_cast<size_t>(node.argPosition - 1);
+        for (const Instruction *user : a->users()) {
+            if (pos < user->numOperands() && user->operand(pos) == a)
+                out.push_back(user);
+        }
+        return out;
+      }
+      case AtomicKind::HasDataFlowTo: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return std::nullopt;
+            for (const Value *op : b->operands())
+                out.push_back(op);
+            return out;
+        }
+        const Value *a = get(0);
+        if (!a)
+            return std::nullopt;
+        for (const Instruction *user : a->users())
+            out.push_back(user);
+        return out;
+      }
+      case AtomicKind::HasControlFlowTo: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return std::nullopt;
+            for (const Instruction *p :
+                 ctx.analyses->cfg().predecessors(b)) {
+                out.push_back(p);
+            }
+            return out;
+        }
+        const Instruction *a = asInst(get(0));
+        if (!a)
+            return std::nullopt;
+        for (const Instruction *s : ctx.analyses->cfg().successors(a))
+            out.push_back(s);
+        return out;
+      }
+      case AtomicKind::ReachesPhiFrom: {
+        const Instruction *phi = asInst(get(1));
+        if (var_index == 0) {
+            if (!phi || !phi->is(Opcode::Phi))
+                return std::nullopt;
+            const Value *branch = get(2);
+            for (size_t i = 0; i < phi->numOperands(); ++i) {
+                if (!branch ||
+                    phi->incomingBlocks()[i]->terminator() == branch) {
+                    out.push_back(phi->operand(i));
+                }
+            }
+            return out;
+        }
+        if (var_index == 1) {
+            const Value *v = get(0);
+            if (!v)
+                return std::nullopt;
+            for (const Instruction *user : v->users()) {
+                if (user->is(Opcode::Phi))
+                    out.push_back(user);
+            }
+            return out;
+        }
+        // var_index == 2: the incoming branch.
+        if (!phi || !phi->is(Opcode::Phi))
+            return std::nullopt;
+        const Value *v = get(0);
+        for (size_t i = 0; i < phi->numOperands(); ++i) {
+            if (!v || phi->operand(i) == v) {
+                if (const Instruction *term =
+                        phi->incomingBlocks()[i]->terminator()) {
+                    out.push_back(term);
+                }
+            }
+        }
+        return out;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace repro::solver

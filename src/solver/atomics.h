@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Evaluation and candidate generation for IDL atomic constraints.
+ */
+#ifndef SOLVER_ATOMICS_H
+#define SOLVER_ATOMICS_H
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/function_analyses.h"
+#include "solver/constraint.h"
+
+namespace repro::solver {
+
+/** Current partial assignment. */
+using Bindings = std::map<std::string, const ir::Value *>;
+
+/** Shared evaluation context for one function. */
+struct AtomContext
+{
+    ir::Function *func = nullptr;
+    analysis::FunctionAnalyses *analyses = nullptr;
+    const std::vector<const ir::Value *> *universe = nullptr;
+    const std::map<ir::Opcode, std::vector<const ir::Value *>>
+        *byOpcode = nullptr;
+    const std::vector<const ir::Value *> *constants = nullptr;
+    const std::vector<const ir::Value *> *arguments = nullptr;
+};
+
+/**
+ * Evaluate a fully bound atomic. All positional variables of @p node
+ * must be present in @p bound; list variables are resolved against
+ * @p bound with "[*]" wildcard expansion.
+ */
+bool evalAtomic(const Node &node, const Bindings &bound,
+                AtomContext &ctx);
+
+/**
+ * Generate the candidate set for the single unbound variable at
+ * position @p var_index of @p node, given the other variables bound.
+ * Returns std::nullopt when this atomic cannot generate (check-only).
+ */
+std::optional<std::vector<const ir::Value *>>
+genCandidates(const Node &node, size_t var_index, const Bindings &bound,
+              AtomContext &ctx);
+
+/** True for atomics evaluated after collects (list/wildcard forms). */
+bool isDeferredAtomic(const Node &node);
+
+/** Expand a possibly-wildcarded name list against the bindings. */
+std::vector<const ir::Value *>
+expandVarList(const std::vector<std::string> &names,
+              const Bindings &bound);
+
+} // namespace repro::solver
+
+#endif // SOLVER_ATOMICS_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lowered constraint representation consumed by the backtracking
+ * solver.
+ *
+ * The IDL compiler (idl/lower.h) eliminates inheritance, for all / for
+ * some, if, rename and rebase, leaving conjunctions, disjunctions,
+ * atomics over flattened variable names, and collect nodes whose body
+ * carries a '#' marker in place of the collect index.
+ */
+#ifndef SOLVER_CONSTRAINT_H
+#define SOLVER_CONSTRAINT_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "idl/ast.h"
+
+namespace repro::solver {
+
+/** One node of a lowered constraint formula. */
+struct Node
+{
+    enum class Kind
+    {
+        And,
+        Or,
+        Atomic,
+        Collect,
+    };
+
+    Kind kind = Kind::And;
+
+    // Atomic payload (field meanings as in idl::Constraint).
+    idl::AtomicKind atomic = idl::AtomicKind::Same;
+    std::string opcodeName;
+    int argPosition = 0;
+    bool negated = false;
+    bool strict = false;
+    bool postDom = false;
+    idl::FlowKind flow = idl::FlowKind::Any;
+    /** Flattened positional variable names. */
+    std::vector<std::string> vars;
+    /** Flattened variable lists; entries may contain "[*]". */
+    std::vector<std::vector<std::string>> varLists;
+
+    // And / Or.
+    std::vector<std::unique_ptr<Node>> children;
+
+    // Collect.
+    int collectMax = 16;
+    std::unique_ptr<Node> collectBody; ///< names contain '#'
+
+    /** Render for debugging / golden tests. */
+    std::string str(int indent = 0) const;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/** A fully lowered idiom ready for solving. */
+struct ConstraintProgram
+{
+    std::string name;
+    NodePtr root;
+};
+
+} // namespace repro::solver
+
+#endif // SOLVER_CONSTRAINT_H

@@ -1,0 +1,391 @@
+#include "solver/solver.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "solver/atomics.h"
+#include "support/diagnostics.h"
+
+namespace repro::solver {
+
+using ir::Instruction;
+using ir::Value;
+
+std::vector<const Value *>
+Solution::lookupArray(const std::string &pattern) const
+{
+    std::vector<const Value *> out;
+    size_t star = pattern.find("[*]");
+    if (star == std::string::npos) {
+        if (const Value *v = lookup(pattern))
+            out.push_back(v);
+        return out;
+    }
+    for (int k = 0;; ++k) {
+        std::string name = pattern.substr(0, star) + "[" +
+                           std::to_string(k) + "]" +
+                           pattern.substr(star + 3);
+        const Value *v = lookup(name);
+        if (!v)
+            break;
+        out.push_back(v);
+    }
+    return out;
+}
+
+std::string
+Solution::str() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (const auto &[name, value] : bindings) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << name << "\": " << value->handle();
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+Node::str(int indent) const
+{
+    std::ostringstream os;
+    std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    switch (kind) {
+      case Kind::And:
+      case Kind::Or:
+        os << pad << (kind == Kind::And ? "and" : "or") << "\n";
+        for (const auto &c : children)
+            os << c->str(indent + 1);
+        break;
+      case Kind::Collect:
+        os << pad << "collect(max=" << collectMax << ")\n"
+           << collectBody->str(indent + 1);
+        break;
+      case Kind::Atomic: {
+        os << pad << "atomic#" << static_cast<int>(atomic);
+        if (!opcodeName.empty())
+            os << " " << opcodeName;
+        if (argPosition)
+            os << " pos=" << argPosition;
+        for (const auto &v : vars)
+            os << " {" << v << "}";
+        for (const auto &list : varLists) {
+            os << " [";
+            for (const auto &v : list)
+                os << " {" << v << "}";
+            os << " ]";
+        }
+        os << "\n";
+        break;
+      }
+    }
+    return os.str();
+}
+
+namespace {
+
+/** The recursive search over goals. */
+class SearchState
+{
+  public:
+    SearchState(AtomContext ctx, SolveStats &stats,
+                const SolverLimits &limits,
+                std::vector<Solution> &results)
+        : ctx_(ctx), stats_(stats), limits_(limits), results_(results)
+    {}
+
+    Bindings bindings;
+
+    void
+    run(const Node *root)
+    {
+        std::vector<const Node *> goals{root};
+        try {
+            search(goals, 0, 0);
+        } catch (const FatalError &) {
+            // Budget exceeded: return the solutions found so far.
+        }
+    }
+
+  private:
+    void
+    budgetCheck()
+    {
+        if (++stats_.assignments > limits_.maxAssignments)
+            throw FatalError("solver budget exceeded");
+    }
+
+    void
+    search(std::vector<const Node *> &goals, size_t idx, int rotations)
+    {
+        if (results_.size() >= limits_.maxSolutions)
+            return;
+        if (idx == goals.size()) {
+            finalize();
+            return;
+        }
+        const Node *g = goals[idx];
+        switch (g->kind) {
+          case Node::Kind::And: {
+            std::vector<const Node *> next(goals.begin(),
+                                           goals.begin() + idx);
+            for (const auto &c : g->children)
+                next.push_back(c.get());
+            next.insert(next.end(), goals.begin() + idx + 1,
+                        goals.end());
+            search(next, idx, 0);
+            return;
+          }
+          case Node::Kind::Or: {
+            for (const auto &c : g->children) {
+                std::vector<const Node *> next = goals;
+                next[idx] = c.get();
+                search(next, idx, 0);
+                if (results_.size() >= limits_.maxSolutions)
+                    return;
+            }
+            return;
+          }
+          case Node::Kind::Collect: {
+            collects_.push_back(g);
+            search(goals, idx + 1, 0);
+            collects_.pop_back();
+            return;
+          }
+          case Node::Kind::Atomic:
+            break;
+        }
+
+        if (isDeferredAtomic(*g)) {
+            deferred_.push_back(g);
+            search(goals, idx + 1, 0);
+            deferred_.pop_back();
+            return;
+        }
+
+        // Collect unassigned variables of this atomic.
+        std::vector<size_t> unassigned;
+        for (size_t i = 0; i < g->vars.size(); ++i) {
+            if (!bindings.count(g->vars[i]))
+                unassigned.push_back(i);
+        }
+
+        if (unassigned.empty()) {
+            ++stats_.checks;
+            if (evalAtomic(*g, bindings, ctx_))
+                search(goals, idx + 1, 0);
+            return;
+        }
+
+        // Try to generate candidates for one of the unassigned
+        // variables; generators tolerate other variables still being
+        // free (the goal is revisited after each assignment).
+        for (size_t pos : unassigned) {
+            auto candidates = genCandidates(*g, pos, bindings, ctx_);
+            if (candidates) {
+                tryCandidates(goals, idx, g, g->vars[pos],
+                              *candidates);
+                return;
+            }
+        }
+
+        // Not ready: rotate this goal to the back. If every remaining
+        // goal is equally stuck, defer it — its variables can only be
+        // bound by collects (library idioms introduce every regular
+        // variable through a generating atomic).
+        if (rotations < static_cast<int>(goals.size() - idx)) {
+            std::vector<const Node *> next = goals;
+            next.erase(next.begin() + idx);
+            next.push_back(g);
+            search(next, idx, rotations + 1);
+            return;
+        }
+        deferred_.push_back(g);
+        search(goals, idx + 1, 0);
+        deferred_.pop_back();
+    }
+
+    void
+    tryCandidates(std::vector<const Node *> &goals, size_t idx,
+                  const Node *g, const std::string &var,
+                  const std::vector<const Value *> &candidates)
+    {
+        std::set<const Value *> seen;
+        for (const Value *c : candidates) {
+            if (!c || !seen.insert(c).second)
+                continue;
+            budgetCheck();
+            bindings[var] = c;
+            ++stats_.checks;
+            bool unassigned_left = false;
+            for (const auto &name : g->vars) {
+                if (!bindings.count(name)) {
+                    unassigned_left = true;
+                    break;
+                }
+            }
+            bool ok = true;
+            if (!unassigned_left)
+                ok = evalAtomic(*g, bindings, ctx_);
+            if (ok) {
+                if (unassigned_left) {
+                    // Still unbound variables: revisit this goal.
+                    search(goals, idx, 0);
+                } else {
+                    search(goals, idx + 1, 0);
+                }
+            }
+            bindings.erase(var);
+            if (results_.size() >= limits_.maxSolutions)
+                return;
+        }
+    }
+
+    void
+    finalize()
+    {
+        std::vector<std::string> added;
+        if (!runCollects(0, added)) {
+            for (const auto &name : added)
+                bindings.erase(name);
+            return;
+        }
+        bool ok = true;
+        for (const Node *g : deferred_) {
+            ++stats_.checks;
+            if (!evalAtomic(*g, bindings, ctx_)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            emit();
+        for (const auto &name : added)
+            bindings.erase(name);
+    }
+
+    /**
+     * Instantiate collect @p ci: enumerate all solutions of the body
+     * (whose variable names contain "[#]") and bind them as indexed
+     * arrays. Returns false if any collect yields zero solutions.
+     */
+    bool
+    runCollects(size_t ci, std::vector<std::string> &added)
+    {
+        if (ci == collects_.size())
+            return true;
+        const Node *col = collects_[ci];
+
+        // Solve the body in a fresh search over the same bindings.
+        std::vector<Solution> subresults;
+        SolverLimits sublimits;
+        sublimits.maxSolutions =
+            static_cast<size_t>(col->collectMax);
+        sublimits.maxAssignments = limits_.maxAssignments;
+        SearchState sub(ctx_, stats_, sublimits, subresults);
+        sub.bindings = bindings;
+        sub.run(col->collectBody.get());
+
+        // Dedup by the '#'-indexed variables only.
+        std::set<std::string> seen;
+        int k = 0;
+        for (const Solution &s : subresults) {
+            std::ostringstream key;
+            std::vector<std::pair<std::string, const Value *>> fresh;
+            for (const auto &[name, value] : s.bindings) {
+                if (name.find("[#]") == std::string::npos)
+                    continue;
+                key << name << "=" << value << ";";
+                fresh.emplace_back(name, value);
+            }
+            if (fresh.empty() || !seen.insert(key.str()).second)
+                continue;
+            for (auto &[name, value] : fresh) {
+                std::string indexed = name;
+                size_t pos = indexed.find("[#]");
+                indexed.replace(pos, 3,
+                                "[" + std::to_string(k) + "]");
+                // '#' may appear in several components.
+                while ((pos = indexed.find("[#]")) !=
+                       std::string::npos) {
+                    indexed.replace(pos, 3,
+                                    "[" + std::to_string(k) + "]");
+                }
+                bindings[indexed] = value;
+                added.push_back(indexed);
+            }
+            ++k;
+            if (k >= col->collectMax)
+                break;
+        }
+        // An empty collect binds an empty array; idioms that need at
+        // least one element say so through constraints on element 0.
+        return runCollects(ci + 1, added);
+    }
+
+    void
+    emit()
+    {
+        Solution s;
+        s.bindings = bindings;
+        // Dedup identical assignments arising from overlapping
+        // disjunction branches.
+        std::ostringstream key;
+        for (const auto &[name, value] : s.bindings)
+            key << name << "=" << value << ";";
+        if (!emitted_.insert(key.str()).second)
+            return;
+        ++stats_.solutions;
+        results_.push_back(std::move(s));
+    }
+
+    AtomContext ctx_;
+    SolveStats &stats_;
+    const SolverLimits &limits_;
+    std::vector<Solution> &results_;
+    std::vector<const Node *> collects_;
+    std::vector<const Node *> deferred_;
+    std::set<std::string> emitted_;
+};
+
+} // namespace
+
+Solver::Solver(ir::Function *func, analysis::FunctionAnalyses &analyses)
+    : func_(func), analyses_(analyses)
+{
+    std::vector<Value *> values = func->renumber();
+    for (Value *v : values) {
+        universe_.push_back(v);
+        if (v->isInstruction()) {
+            byOpcode_[static_cast<Instruction *>(v)->opcode()]
+                .push_back(v);
+        } else if (v->isConstant()) {
+            constants_.push_back(v);
+        } else if (v->isArgument()) {
+            arguments_.push_back(v);
+        }
+    }
+}
+
+std::vector<Solution>
+Solver::solveAll(const ConstraintProgram &program,
+                 const SolverLimits &limits)
+{
+    std::vector<Solution> results;
+    AtomContext ctx;
+    ctx.func = func_;
+    ctx.analyses = &analyses_;
+    ctx.universe = &universe_;
+    ctx.byOpcode = &byOpcode_;
+    ctx.constants = &constants_;
+    ctx.arguments = &arguments_;
+    SearchState state(ctx, stats_, limits, results);
+    state.run(program.root.get());
+    return results;
+}
+
+} // namespace repro::solver

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Backtracking constraint solver over SSA IR values.
+ *
+ * This is the reproduction of the solver the paper bases on Ginsbach &
+ * O'Boyle (CGO'17): given a lowered idiom formula, it enumerates every
+ * assignment of constraint variables to IR values that satisfies the
+ * formula. Candidate generation exploits the structure of atomics
+ * (operand edges, opcode indices, phi incomings) so the search space
+ * is pruned aggressively.
+ */
+#ifndef SOLVER_SOLVER_H
+#define SOLVER_SOLVER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/function_analyses.h"
+#include "solver/constraint.h"
+
+namespace repro::solver {
+
+/** One satisfying assignment: variable name -> IR value. */
+struct Solution
+{
+    std::map<std::string, const ir::Value *> bindings;
+
+    const ir::Value *
+    lookup(const std::string &name) const
+    {
+        auto it = bindings.find(name);
+        return it == bindings.end() ? nullptr : it->second;
+    }
+
+    /** All bindings whose name matches prefix "p[k]suffix" pattern. */
+    std::vector<const ir::Value *>
+    lookupArray(const std::string &pattern) const;
+
+    std::string str() const;
+};
+
+/** Search effort counters (reported by bench_solver / Table 2). */
+struct SolveStats
+{
+    uint64_t assignments = 0; ///< variable assignments tried
+    uint64_t checks = 0;      ///< atomic evaluations
+    uint64_t solutions = 0;
+};
+
+/** Tunable limits protecting against pathological formulas. */
+struct SolverLimits
+{
+    uint64_t maxAssignments = 20'000'000;
+    size_t maxSolutions = 4096;
+};
+
+/** Solves one idiom against one function. */
+class Solver
+{
+  public:
+    Solver(ir::Function *func, analysis::FunctionAnalyses &analyses);
+
+    /** Enumerate all solutions of @p program. */
+    std::vector<Solution> solveAll(const ConstraintProgram &program,
+                                   const SolverLimits &limits = {});
+
+    const SolveStats &stats() const { return stats_; }
+
+  private:
+    friend class SearchState;
+    ir::Function *func_;
+    analysis::FunctionAnalyses &analyses_;
+    std::vector<const ir::Value *> universe_;
+    std::map<ir::Opcode, std::vector<const ir::Value *>> byOpcode_;
+    std::vector<const ir::Value *> constants_;
+    std::vector<const ir::Value *> arguments_;
+    SolveStats stats_;
+};
+
+} // namespace repro::solver
+
+#endif // SOLVER_SOLVER_H

@@ -1,0 +1,65 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace repro {
+
+std::string
+SourceLoc::str() const
+{
+    std::ostringstream os;
+    os << line << ":" << column;
+    return os.str();
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case DiagKind::Error: os << "error"; break;
+      case DiagKind::Warning: os << "warning"; break;
+      case DiagKind::Note: os << "note"; break;
+    }
+    if (loc.valid())
+        os << " at " << loc.str();
+    os << ": " << message;
+    return os.str();
+}
+
+void
+DiagEngine::error(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({DiagKind::Error, loc, msg});
+    ++numErrors_;
+}
+
+void
+DiagEngine::warning(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({DiagKind::Warning, loc, msg});
+}
+
+void
+DiagEngine::note(SourceLoc loc, const std::string &msg)
+{
+    diags_.push_back({DiagKind::Note, loc, msg});
+}
+
+std::string
+DiagEngine::dump() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags_)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+void
+DiagEngine::clear()
+{
+    diags_.clear();
+    numErrors_ = 0;
+}
+
+} // namespace repro

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Binds the inserted heterogeneous API entry points to native
+ * skeleton implementations on the interpreter (the "link against the
+ * vendor library / DSL output" step of Figure 1).
+ */
+#ifndef TRANSFORM_BINDER_H
+#define TRANSFORM_BINDER_H
+
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "transform/transform.h"
+
+namespace repro::transform {
+
+/**
+ * Register native handlers for every replacement. DSL-backed idioms
+ * (reduce/histogram/stencil) call back into their extracted IR kernel
+ * functions through the interpreter; library-backed ones (spmv/gemm)
+ * run directly over the heap.
+ */
+void bindReplacements(interp::Interpreter &interp,
+                      const std::vector<Replacement> &replacements);
+
+} // namespace repro::transform
+
+#endif // TRANSFORM_BINDER_H

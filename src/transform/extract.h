@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Kernel extraction: clone the backward slice of a value into a fresh
+ * IR function (section 6.2 — "we use this information to cut out the
+ * kernel function").
+ */
+#ifndef TRANSFORM_EXTRACT_H
+#define TRANSFORM_EXTRACT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dominators.h"
+#include "ir/function.h"
+
+namespace repro::transform {
+
+/** Result of a successful extraction. */
+struct ExtractedKernel
+{
+    ir::Function *func = nullptr;
+    /** Loop-invariant values that became trailing parameters. */
+    std::vector<const ir::Value *> invariants;
+};
+
+/**
+ * Extract the computation of @p out into a new function.
+ *
+ * @param inputs become the leading parameters, in order (typically
+ *        the collected read values followed by the old accumulator).
+ * @param region_begin instruction-level region root: instructions
+ *        dominated by it are cloned; values defined outside are
+ *        treated as loop invariants and appended as parameters.
+ * @param call_point every invariant must dominate this instruction
+ *        (where the replacement call will live).
+ *
+ * Returns std::nullopt when the slice contains constructs the
+ * translation cannot express (phis, unlisted loads, stores, calls to
+ * defined functions).
+ */
+std::optional<ExtractedKernel>
+extractKernel(ir::Module &module, const std::string &name,
+              const ir::Value *out, const ir::Instruction *region_begin,
+              const std::vector<const ir::Value *> &inputs,
+              const analysis::DomTree &dom,
+              const ir::Instruction *call_point);
+
+} // namespace repro::transform
+
+#endif // TRANSFORM_EXTRACT_H

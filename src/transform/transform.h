@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Idiom-to-API transformation (section 6 of the paper).
+ *
+ * A detected idiom solution drives surgery on the IR: the matched
+ * loop (nest) is bypassed, a call to a heterogeneous API entry point
+ * is inserted in its place, and — for DSL-backed idioms — the loop
+ * body's kernel function is extracted into a fresh IR function that
+ * the runtime skeleton invokes per element.
+ */
+#ifndef TRANSFORM_TRANSFORM_H
+#define TRANSFORM_TRANSFORM_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "idioms/library.h"
+#include "ir/function.h"
+
+namespace repro::transform {
+
+/** Record of one applied replacement. */
+struct Replacement
+{
+    std::string kind;        ///< "spmv" | "gemm" | "reduce" | ...
+    std::string calleeName;  ///< the inserted API entry point
+    ir::Function *callee = nullptr;
+    ir::Function *kernel = nullptr;      ///< extracted kernel
+    ir::Function *indexKernel = nullptr; ///< histogram index kernel
+    int numReads = 0;
+    int numInvariants = 0;
+    /** Histogram: trailing invariants of the index kernel. */
+    int numIndexInvariants = 0;
+    /** Element type kinds of the collected reads, in order. */
+    std::vector<ir::Type::Kind> readKinds;
+    /** Stencil: flattened per-read offsets (innermost first). */
+    std::vector<int64_t> readOffsets;
+    int stencilDims = 0;
+    /** Value kind of the accumulator / stored element. */
+    ir::Type::Kind elemKind = ir::Type::Kind::Double;
+};
+
+/**
+ * Applies idiom matches to the module. Replacements that the current
+ * translation schemes cannot express (e.g. kernels with internal
+ * control flow that does not reduce to selects) are skipped — the
+ * idiom still counts as detected, it is just not exploited.
+ */
+class Transformer
+{
+  public:
+    explicit Transformer(ir::Module &module) : module_(module) {}
+
+    /** Try to replace one match; nullopt when unsupported. */
+    std::optional<Replacement> apply(const idioms::IdiomMatch &match);
+
+    /** Apply every match, most specific first. */
+    std::vector<Replacement>
+    applyAll(const std::vector<idioms::IdiomMatch> &matches);
+
+    /** Replacements performed so far. */
+    const std::vector<Replacement> &replacements() const
+    {
+        return done_;
+    }
+
+  private:
+    std::optional<Replacement>
+    applySpmv(const idioms::IdiomMatch &match);
+    std::optional<Replacement>
+    applyGemm(const idioms::IdiomMatch &match);
+    std::optional<Replacement>
+    applyReduction(const idioms::IdiomMatch &match);
+    std::optional<Replacement>
+    applyHistogram(const idioms::IdiomMatch &match);
+    std::optional<Replacement>
+    applyStencil(const idioms::IdiomMatch &match, int dims);
+
+    ir::Module &module_;
+    std::vector<Replacement> done_;
+    int counter_ = 0;
+};
+
+} // namespace repro::transform
+
+#endif // TRANSFORM_TRANSFORM_H

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+#include "benchmarks/suite.h"
+#include "benchmarks/coverage.h"
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "interp/builtins.h"
+#include "ir/verifier.h"
+#include "transform/binder.h"
+#include "transform/transform.h"
+
+using namespace repro;
+using benchmarks::BenchmarkProgram;
+
+namespace {
+
+struct Counts
+{
+    int sr = 0, h = 0, st = 0, m = 0, sp = 0;
+};
+
+Counts
+countMatches(const std::vector<idioms::IdiomMatch> &matches)
+{
+    Counts c;
+    for (const auto &m : matches) {
+        switch (m.cls) {
+          case idioms::IdiomClass::ScalarReduction: ++c.sr; break;
+          case idioms::IdiomClass::HistogramReduction: ++c.h; break;
+          case idioms::IdiomClass::Stencil: ++c.st; break;
+          case idioms::IdiomClass::MatrixOp: ++c.m; break;
+          case idioms::IdiomClass::SparseMatrixOp: ++c.sp; break;
+          default: break;
+        }
+    }
+    return c;
+}
+
+} // namespace
+
+class SuiteTest : public ::testing::TestWithParam<const char *>
+{};
+
+// Per-benchmark idiom counts: the Figure 16 ground truth.
+TEST_P(SuiteTest, DetectsExpectedIdioms)
+{
+    const BenchmarkProgram &b = benchmarks::benchmarkByName(GetParam());
+    ir::Module module;
+    frontend::compileMiniCOrDie(b.source, module);
+    idioms::IdiomDetector det;
+    auto matches = det.detectModule(module);
+    Counts c = countMatches(matches);
+    EXPECT_EQ(c.sr, b.expected.scalarReductions) << "scalar reductions";
+    EXPECT_EQ(c.h, b.expected.histograms) << "histograms";
+    EXPECT_EQ(c.st, b.expected.stencils) << "stencils";
+    EXPECT_EQ(c.m, b.expected.matrixOps) << "matrix ops";
+    EXPECT_EQ(c.sp, b.expected.sparseOps) << "sparse ops";
+}
+
+// Transformation must preserve program results bit-for-bit on every
+// watched output array.
+TEST_P(SuiteTest, TransformPreservesSemantics)
+{
+    const BenchmarkProgram &b = benchmarks::benchmarkByName(GetParam());
+
+    auto run = [&](bool transformed,
+                   std::vector<std::vector<double>> &dbls,
+                   std::vector<std::vector<int32_t>> &ints) {
+        ir::Module module;
+        frontend::compileMiniCOrDie(b.source, module);
+        std::vector<transform::Replacement> reps;
+        if (transformed) {
+            idioms::IdiomDetector det;
+            auto matches = det.detectModule(module);
+            transform::Transformer tr(module);
+            reps = tr.applyAll(matches);
+            auto problems = ir::verifyModule(module);
+            ASSERT_TRUE(problems.empty()) << problems.front();
+        }
+        interp::Memory mem;
+        interp::Interpreter it(module, mem);
+        interp::registerMathBuiltins(it);
+        transform::bindReplacements(it, reps);
+        auto inst = b.setup(mem);
+        it.run(module.functionByName(b.entry), inst.args);
+        for (auto &[addr, n] : inst.watchDoubles) {
+            std::vector<double> v(n);
+            for (size_t i = 0; i < n; ++i)
+                v[i] = mem.load<double>(addr + 8 * i);
+            dbls.push_back(std::move(v));
+        }
+        for (auto &[addr, n] : inst.watchInts) {
+            std::vector<int32_t> v(n);
+            for (size_t i = 0; i < n; ++i)
+                v[i] = mem.load<int32_t>(addr + 4 * i);
+            ints.push_back(std::move(v));
+        }
+    };
+
+    std::vector<std::vector<double>> d_seq, d_acc;
+    std::vector<std::vector<int32_t>> i_seq, i_acc;
+    run(false, d_seq, i_seq);
+    run(true, d_acc, i_acc);
+    ASSERT_EQ(d_seq.size(), d_acc.size());
+    for (size_t a = 0; a < d_seq.size(); ++a) {
+        ASSERT_EQ(d_seq[a].size(), d_acc[a].size());
+        for (size_t i = 0; i < d_seq[a].size(); ++i)
+            ASSERT_DOUBLE_EQ(d_seq[a][i], d_acc[a][i])
+                << "array " << a << " elem " << i;
+    }
+    ASSERT_EQ(i_seq, i_acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteTest,
+    ::testing::Values("BT", "CG", "DC", "EP", "FT", "IS", "LU", "MG",
+                      "SP", "UA", "bfs", "cutcp", "histo", "lbm",
+                      "mri-g", "mri-q", "sad", "sgemm", "spmv",
+                      "stencil", "tpacf"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (auto &c : name)
+            if (c == '-') c = '_';
+        return name;
+    });
+
+// Table 1 bottom line: 60 idioms across the whole corpus.
+TEST(SuiteTotals, SixtyIdioms)
+{
+    Counts total;
+    for (const auto &b : benchmarks::nasParboilSuite()) {
+        ir::Module module;
+        frontend::compileMiniCOrDie(b.source, module);
+        idioms::IdiomDetector det;
+        Counts c = countMatches(det.detectModule(module));
+        total.sr += c.sr;
+        total.h += c.h;
+        total.st += c.st;
+        total.m += c.m;
+        total.sp += c.sp;
+    }
+    EXPECT_EQ(total.sr, 45);
+    EXPECT_EQ(total.h, 5);
+    EXPECT_EQ(total.st, 6);
+    EXPECT_EQ(total.m, 1);
+    EXPECT_EQ(total.sp, 3);
+}

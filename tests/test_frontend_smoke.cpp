@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+#include "frontend/compiler.h"
+#include "interp/interpreter.h"
+#include "ir/printer.h"
+
+using namespace repro;
+
+TEST(Smoke, DotProduct)
+{
+    const char *src = R"(
+        double dot(double *a, double *b, int n) {
+            double d = 0.0;
+            for (int i = 0; i < n; i++)
+                d = d + a[i] * b[i];
+            return d;
+        }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    std::string text = ir::printModule(module);
+    fprintf(stderr, "%s\n", text.c_str());
+
+    interp::Memory mem;
+    interp::Interpreter interp(module, mem);
+    uint64_t a = mem.allocate(4 * 8), b = mem.allocate(4 * 8);
+    for (int i = 0; i < 4; ++i) {
+        mem.store<double>(a + 8 * i, i + 1.0);
+        mem.store<double>(b + 8 * i, 2.0);
+    }
+    auto r = interp.run(module.functionByName("dot"),
+                        {interp::RuntimeValue::makeInt(a),
+                         interp::RuntimeValue::makeInt(b),
+                         interp::RuntimeValue::makeInt(4)});
+    EXPECT_DOUBLE_EQ(r.f, 20.0);
+}

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "ir/printer.h"
+
+using namespace repro;
+
+namespace {
+
+struct Compiled
+{
+    std::unique_ptr<ir::Module> module;
+    std::vector<idioms::IdiomMatch> matches;
+};
+
+Compiled
+detectIn(const char *src, const char *idiom)
+{
+    Compiled out;
+    out.module = std::make_unique<ir::Module>();
+    frontend::compileMiniCOrDie(src, *out.module);
+    idioms::IdiomDetector det;
+    for (const auto &f : out.module->functions())
+        for (auto &m : det.detectOne(f.get(), idiom))
+            out.matches.push_back(std::move(m));
+    return out;
+}
+
+// The NAS CG kernel of Figure 4 of the paper.
+const char *kSpmvSrc = R"(
+    void spmv(int m, int *rowstr, int *colidx, double *a, double *z,
+              double *r) {
+        for (int j = 0; j < m; j++) {
+            double d = 0.0;
+            for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                d = d + a[k] * z[colidx[k]];
+            r[j] = d;
+        }
+    }
+)";
+
+} // namespace
+
+TEST(SpmvIdiom, NasCgKernel)
+{
+    auto r = detectIn(kSpmvSrc, "SPMV");
+    ASSERT_EQ(r.matches.size(), 1u);
+    const auto &sol = r.matches[0].solution;
+    // The constraint solution of Figure 5: base pointers bind to the
+    // right arrays.
+    ir::Function *f = r.module->functionByName("spmv");
+    EXPECT_EQ(sol.lookup("idx_read.base_pointer"), f->arg(2));  // colidx
+    EXPECT_EQ(sol.lookup("seq_read.base_pointer"), f->arg(3));  // a
+    EXPECT_EQ(sol.lookup("indir_read.base_pointer"), f->arg(4)); // z
+    EXPECT_EQ(sol.lookup("output.base_pointer"), f->arg(5));    // r
+    EXPECT_NE(sol.lookup("inner.iter_begin"), nullptr);
+    EXPECT_NE(sol.lookup("inner.iter_end"), nullptr);
+}
+
+TEST(SpmvIdiom, DenseLoopDoesNotMatch)
+{
+    auto r = detectIn(R"(
+        void mv(int m, int n, double *a, double *x, double *y) {
+            for (int i = 0; i < m; i++) {
+                double d = 0.0;
+                for (int j = 0; j < n; j++)
+                    d = d + a[i*n+j] * x[j];
+                y[i] = d;
+            }
+        }
+    )", "SPMV");
+    EXPECT_EQ(r.matches.size(), 0u);
+}
+
+TEST(GemmIdiom, ParboilStyleFlat)
+{
+    // First kernel of Figure 8 (strided, transposed operands).
+    auto r = detectIn(R"(
+        void sgemm(float *A, int lda, float *B, int ldb, float *C,
+                   int ldc, int m, int n, int k,
+                   float alpha, float beta) {
+            for (int mm = 0; mm < m; mm++) {
+                for (int nn = 0; nn < n; nn++) {
+                    float c = 0.0f;
+                    for (int i = 0; i < k; i++) {
+                        float a = A[mm + i * lda];
+                        float b = B[nn + i * ldb];
+                        c += a * b;
+                    }
+                    C[mm+nn*ldc] = C[mm+nn*ldc] * beta + alpha * c;
+                }
+            }
+        }
+    )", "GEMM");
+    ASSERT_EQ(r.matches.size(), 1u);
+    ir::Function *f = r.module->functionByName("sgemm");
+    EXPECT_EQ(r.matches[0].solution.lookup("output.base_pointer"),
+              f->arg(4));
+}
+
+TEST(Stencil3dIdiom, Jacobi7Point)
+{
+    // The Parboil stencil kernel: 7-point Jacobi on a flattened grid.
+    auto r = detectIn(R"(
+        void stencil(double c0, double c1, double *A0, double *Anext,
+                     int nx, int ny, int nz) {
+            for (int k = 1; k < nz - 1; k++) {
+                for (int j = 1; j < ny - 1; j++) {
+                    for (int i = 1; i < nx - 1; i++) {
+                        Anext[i + nx * (j + ny * k)] =
+                          c1 * (A0[(i+1) + nx * (j + ny * k)] +
+                                A0[(i-1) + nx * (j + ny * k)] +
+                                A0[i + nx * ((j+1) + ny * k)] +
+                                A0[i + nx * ((j-1) + ny * k)] +
+                                A0[i + nx * (j + ny * (k+1))] +
+                                A0[i + nx * (j + ny * (k-1))]) -
+                          c0 * A0[i + nx * (j + ny * k)];
+                    }
+                }
+            }
+        }
+    )", "Stencil3D");
+    ASSERT_EQ(r.matches.size(), 1u);
+    EXPECT_EQ(r.matches[0]
+                  .solution.lookupArray("read_value[*]")
+                  .size(),
+              7u);
+}
+
+TEST(Stencil1dIdiom, ThreePointAverage)
+{
+    auto r = detectIn(R"(
+        void smooth(double *out, double *in, int n) {
+            for (int i = 1; i < n - 1; i++)
+                out[i] = (in[i-1] + in[i] + in[i+1]) / 3.0;
+        }
+    )", "Stencil1D");
+    ASSERT_EQ(r.matches.size(), 1u);
+    EXPECT_EQ(r.matches[0]
+                  .solution.lookupArray("read_value[*]")
+                  .size(),
+              3u);
+}
+
+TEST(Stencil1dIdiom, CopyLoopFilteredOut)
+{
+    auto r = detectIn(R"(
+        void copy(double *out, double *in, int n) {
+            for (int i = 0; i < n; i++)
+                out[i] = in[i];
+        }
+    )", "Stencil1D");
+    EXPECT_EQ(r.matches.size(), 0u); // single read: not a stencil
+}
+
+TEST(GemmIdiom, TwoDimensionalArrayStyle)
+{
+    // Second kernel of Figure 8: memory accumulator on 2D globals.
+    auto r = detectIn(R"(
+        float M1[300][300];
+        float M2[300][300];
+        float M3[300][300];
+        void mm() {
+            for (int i = 0; i < 300; i++)
+                for (int j = 0; j < 300; j++) {
+                    M3[i][j] = 0.0f;
+                    for (int k = 0; k < 300; k++)
+                        M3[i][j] += M1[i][k] * M2[k][j];
+                }
+        }
+    )", "GEMM");
+    ASSERT_EQ(r.matches.size(), 1u);
+    EXPECT_EQ(r.matches[0].solution.lookup("output.base_pointer"),
+              r.module->globalByName("M3"));
+}

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "idl/lower.h"
+#include "ir/printer.h"
+
+using namespace repro;
+
+namespace {
+
+std::vector<idioms::IdiomMatch>
+detectIn(const char *src, const char *idiom)
+{
+    static ir::Module *leak = nullptr; // keep matches' values alive
+    auto module = std::make_unique<ir::Module>();
+    frontend::compileMiniCOrDie(src, *module);
+    idioms::IdiomDetector det;
+    std::vector<idioms::IdiomMatch> all;
+    for (const auto &f : module->functions())
+        for (auto &m : det.detectOne(f.get(), idiom))
+            all.push_back(std::move(m));
+    leak = module.release(); // tests only inspect within one call
+    return all;
+}
+
+} // namespace
+
+TEST(ForIdiom, CanonicalLoop)
+{
+    auto m = detectIn(R"(
+        void fill(double *a, int n) {
+            for (int i = 0; i < n; i++)
+                a[i] = 1.0;
+        }
+    )", "For");
+    ASSERT_GE(m.size(), 1u);
+    EXPECT_NE(m[0].solution.lookup("iterator"), nullptr);
+    EXPECT_NE(m[0].solution.lookup("iter_end"), nullptr);
+    EXPECT_NE(m[0].solution.lookup("body_begin"), nullptr);
+}
+
+TEST(ForIdiom, WhileLoopAlsoMatches)
+{
+    auto m = detectIn(R"(
+        int count(int n) {
+            int i = 0;
+            int c = 0;
+            while (i < n) { c = c + 2; i = i + 1; }
+            return c;
+        }
+    )", "For");
+    EXPECT_GE(m.size(), 1u);
+}
+
+TEST(ReductionIdiom, SimpleSum)
+{
+    auto m = detectIn(R"(
+        double sum(double *a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s += a[i];
+            return s;
+        }
+    )", "Reduction");
+    ASSERT_EQ(m.size(), 1u);
+    auto reads = m[0].solution.lookupArray("read_value[*]");
+    EXPECT_EQ(reads.size(), 1u);
+}
+
+TEST(ReductionIdiom, DotProductTwoReads)
+{
+    auto m = detectIn(R"(
+        double dot(double *a, double *b, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s = s + a[i] * b[i];
+            return s;
+        }
+    )", "Reduction");
+    ASSERT_EQ(m.size(), 1u);
+    EXPECT_EQ(m[0].solution.lookupArray("read_value[*]").size(), 2u);
+}
+
+TEST(ReductionIdiom, MaxViaTernary)
+{
+    auto m = detectIn(R"(
+        double maxval(double *a, int n) {
+            double m = 0.0;
+            for (int i = 0; i < n; i++)
+                m = a[i] > m ? a[i] : m;
+            return m;
+        }
+    )", "Reduction");
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ReductionIdiom, RejectsIteratorKernel)
+{
+    auto m = detectIn(R"(
+        int tri(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += i;
+            return s;
+        }
+    )", "Reduction");
+    EXPECT_EQ(m.size(), 0u); // kernel input is the iterator
+}
+
+TEST(ReductionIdiom, RejectsOverwrite)
+{
+    auto m = detectIn(R"(
+        double last(double *a, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s = a[i];
+            return s;
+        }
+    )", "Reduction");
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(HistogramIdiom, SimpleHistogram)
+{
+    auto m = detectIn(R"(
+        void histo(int *bins, int *key, double *w, int n) {
+            for (int i = 0; i < n; i++)
+                bins[key[i]] += 1;
+        }
+    )", "Histogram");
+    ASSERT_EQ(m.size(), 1u);
+}
+
+TEST(HistogramIdiom, RejectsPlainStore)
+{
+    auto m = detectIn(R"(
+        void scale(double *a, int n) {
+            for (int i = 0; i < n; i++)
+                a[i] = a[i] * 2.0;
+        }
+    )", "Histogram");
+    EXPECT_EQ(m.size(), 0u); // bin index is the iterator, not a read
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+#include "frontend/compiler.h"
+#include "idl/parser.h"
+#include "idl/lower.h"
+#include "solver/solver.h"
+
+using namespace repro;
+
+// The running example of section 2.2 / Figures 2 and 3 of the paper.
+static const char *kFactorizationIdl = R"(
+Constraint FactorizationOpportunity
+( {sum} is add instruction and
+  {left_addend} is first argument of {sum} and
+  {left_addend} is mul instruction and
+  {right_addend} is second argument of {sum} and
+  {right_addend} is mul instruction and
+  ( {factor} is first argument of {left_addend} or
+    {factor} is second argument of {left_addend} ) and
+  ( {factor} is first argument of {right_addend} or
+    {factor} is second argument of {right_addend} ) )
+End
+)";
+
+TEST(Factorization, PaperExample)
+{
+    const char *src = R"(
+        int example(int a, int b, int c) {
+            int d = a;
+            return (a*b) + (c*d);
+        }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    ir::Function *func = module.functionByName("example");
+    ASSERT_NE(func, nullptr);
+
+    auto program = idl::parseIdlOrDie(kFactorizationIdl);
+    auto lowered = idl::lowerIdiom(*program, "FactorizationOpportunity");
+
+    analysis::FunctionAnalyses fa(func);
+    solver::Solver s(func, fa);
+    auto solutions = s.solveAll(lowered);
+
+    ASSERT_EQ(solutions.size(), 1u);
+    const auto &sol = solutions[0];
+    EXPECT_EQ(sol.lookup("factor"), func->arg(0)); // %a
+    const ir::Value *sum = sol.lookup("sum");
+    ASSERT_NE(sum, nullptr);
+    EXPECT_TRUE(static_cast<const ir::Instruction *>(sum)->is(
+        ir::Opcode::Add));
+}
+
+TEST(Factorization, NoOpportunity)
+{
+    const char *src = R"(
+        int example(int a, int b, int c, int e) {
+            return (a*b) + (c*e);
+        }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    ir::Function *func = module.functionByName("example");
+
+    auto program = idl::parseIdlOrDie(kFactorizationIdl);
+    auto lowered = idl::lowerIdiom(*program, "FactorizationOpportunity");
+    analysis::FunctionAnalyses fa(func);
+    solver::Solver s(func, fa);
+    EXPECT_TRUE(s.solveAll(lowered).empty());
+}

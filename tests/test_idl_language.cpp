@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "frontend/compiler.h"
+#include "idl/lower.h"
+#include "idl/parser.h"
+#include "idioms/library.h"
+#include "ir/parser.h"
+#include "solver/solver.h"
+
+using namespace repro;
+
+namespace {
+
+std::vector<solver::Solution>
+solveIdl(ir::Function *func, const std::string &extra_idl,
+         const std::string &name,
+         const std::map<std::string, int64_t> &params = {})
+{
+    idl::IdlProgram program;
+    DiagEngine diags;
+    idl::parseIdlInto(idioms::idiomLibrarySource(), program, diags);
+    idl::parseIdlInto(extra_idl, program, diags);
+    if (diags.hasErrors())
+        throw FatalError(diags.dump());
+    auto lowered = idl::lowerIdiom(program, name, params);
+    analysis::FunctionAnalyses fa(func);
+    solver::Solver solver(func, fa);
+    return solver.solveAll(lowered);
+}
+
+} // namespace
+
+TEST(IdlParser, RejectsMixedAndOr)
+{
+    DiagEngine diags;
+    auto p = idl::parseIdl(
+        "Constraint T ( {a} is add instruction and {b} is mul "
+        "instruction or {c} is sub instruction ) End",
+        diags);
+    EXPECT_EQ(p, nullptr);
+    EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(IdlParser, AcceptsComments)
+{
+    DiagEngine diags;
+    auto p = idl::parseIdl(R"(
+# a comment
+Constraint T
+( {a} is add instruction ) # trailing comment
+End
+)",
+                           diags);
+    ASSERT_NE(p, nullptr);
+    EXPECT_NE(p->lookup("T"), nullptr);
+}
+
+TEST(IdlLowering, TemplateParametersAndForAll)
+{
+    // ForNest's N parameter changes the lowered variable set.
+    auto two = idl::lowerIdiom(idioms::idiomLibrary(), "ForNest",
+                               {{"N", 2}});
+    auto three = idl::lowerIdiom(idioms::idiomLibrary(), "ForNest",
+                                 {{"N", 3}});
+    std::string s2 = two.root->str();
+    std::string s3 = three.root->str();
+    EXPECT_EQ(s2.find("loop[2]."), std::string::npos);
+    EXPECT_NE(s3.find("loop[2]."), std::string::npos);
+    EXPECT_NE(s2.find("loop[1]."), std::string::npos);
+}
+
+TEST(IdlLowering, UnknownIdiomThrows)
+{
+    EXPECT_THROW(idl::lowerIdiom(idioms::idiomLibrary(), "NoSuch"),
+                 FatalError);
+}
+
+TEST(IdlLowering, RebasePrefixesUnrenamedVariables)
+{
+    auto prog = idl::parseIdlOrDie(R"(
+Constraint Inner
+( {x} is add instruction and
+  {y} is first argument of {x} )
+End
+Constraint Outer
+( inherits Inner with {shared} as {y} at {pre} )
+End
+)");
+    auto lowered = idl::lowerIdiom(*prog, "Outer");
+    std::string s = lowered.root->str();
+    EXPECT_NE(s.find("{pre.x}"), std::string::npos);  // rebased
+    EXPECT_NE(s.find("{shared}"), std::string::npos); // renamed
+    EXPECT_EQ(s.find("{pre.y}"), std::string::npos);
+}
+
+TEST(IdlLowering, ForSomeBecomesDisjunction)
+{
+    auto prog = idl::parseIdlOrDie(R"(
+Constraint T
+( ( {v[i]} is add instruction ) for some i = 0 .. 3 )
+End
+)");
+    auto lowered = idl::lowerIdiom(*prog, "T");
+    EXPECT_EQ(lowered.root->kind, solver::Node::Kind::Or);
+    EXPECT_EQ(lowered.root->children.size(), 3u);
+}
+
+TEST(IdlLowering, IfSelectsBranchAtCompileTime)
+{
+    auto prog = idl::parseIdlOrDie(R"(
+Constraint T (N=1)
+( if N = 1 then ( {a} is add instruction )
+  else ( {a} is mul instruction ) endif )
+End
+)");
+    auto then_branch = idl::lowerIdiom(*prog, "T", {{"N", 1}});
+    auto else_branch = idl::lowerIdiom(*prog, "T", {{"N", 2}});
+    EXPECT_NE(then_branch.root->str().find("add"), std::string::npos);
+    EXPECT_NE(else_branch.root->str().find("mul"), std::string::npos);
+}
+
+TEST(SeseIdiom, MatchesIfRegion)
+{
+    // SESE (Figure 9) finds the single-entry single-exit region
+    // spanned by a diamond.
+    const char *text = R"(
+define i32 @f(i1 %c, i32 %a) {
+entry:
+  br label %head
+head:
+  br i1 %c, label %then, label %else
+then:
+  %x = add i32 %a, 1
+  br label %merge
+else:
+  %y = add i32 %a, 2
+  br label %merge
+merge:
+  %p = phi i32 [ %x, %then ], [ %y, %else ]
+  br label %tail
+tail:
+  ret i32 %p
+}
+)";
+    ir::Module m;
+    ir::parseModuleOrDie(text, m);
+    ir::Function *f = m.functionByName("f");
+    auto sols = solveIdl(f, "", "SESE");
+    // The branch in %head / the branch in %merge span a SESE region.
+    bool found = false;
+    const ir::Instruction *head_br =
+        f->blockByName("head")->terminator();
+    const ir::Instruction *merge_br =
+        f->blockByName("merge")->terminator();
+    for (const auto &sol : sols) {
+        const ir::Value *begin = sol.lookup("begin");
+        const ir::Value *end = sol.lookup("end");
+        if (begin == head_br && end == merge_br)
+            found = true;
+    }
+    EXPECT_TRUE(found) << sols.size() << " SESE solutions";
+}
+
+TEST(IdlSolver, NotSameDistinguishesOperands)
+{
+    const char *src = R"(
+        int square(int a) { return a * a; }
+        int prod(int a, int b) { return a * b; }
+    )";
+    ir::Module m;
+    frontend::compileMiniCOrDie(src, m);
+    const char *idiom = R"(
+Constraint DistinctMul
+( {m} is mul instruction and
+  {l} is first argument of {m} and
+  {r} is second argument of {m} and
+  {l} is not the same as {r} )
+End
+)";
+    EXPECT_EQ(solveIdl(m.functionByName("square"), idiom,
+                       "DistinctMul")
+                  .size(),
+              0u);
+    EXPECT_EQ(solveIdl(m.functionByName("prod"), idiom, "DistinctMul")
+                  .size(),
+              1u);
+}
+
+TEST(IdlSolver, CollectBindsIndexedArrays)
+{
+    const char *src = R"(
+        double f(double *a, double *b, double *c, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s += a[i] + b[i] * c[i];
+            return s;
+        }
+    )";
+    ir::Module m;
+    frontend::compileMiniCOrDie(src, m);
+    idioms::IdiomDetector det;
+    auto matches = det.detectOne(m.functionByName("f"), "Reduction");
+    ASSERT_EQ(matches.size(), 1u);
+    auto reads = matches[0].solution.lookupArray("read_value[*]");
+    EXPECT_EQ(reads.size(), 3u);
+    // Bases bind alongside each collected element.
+    for (int k = 0; k < 3; ++k) {
+        EXPECT_NE(matches[0].solution.lookup(
+                      "read[" + std::to_string(k) + "].base_pointer"),
+                  nullptr);
+    }
+}
+
+TEST(IdlSolver, SolverBudgetIsHonored)
+{
+    const char *src = R"(
+        double f(double *a, double *b, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s += a[i] * b[i];
+            return s;
+        }
+    )";
+    ir::Module m;
+    frontend::compileMiniCOrDie(src, m);
+    ir::Function *func = m.functionByName("f");
+    auto lowered =
+        idl::lowerIdiom(idioms::idiomLibrary(), "Reduction");
+    analysis::FunctionAnalyses fa(func);
+    solver::Solver solver(func, fa);
+    solver::SolverLimits limits;
+    limits.maxAssignments = 1; // absurdly small budget
+    auto sols = solver.solveAll(lowered, limits);
+    EXPECT_TRUE(sols.empty()); // gave up gracefully, no crash
+}

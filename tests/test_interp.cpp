@@ -1,0 +1,207 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "frontend/compiler.h"
+#include "interp/builtins.h"
+#include "interp/interpreter.h"
+
+using namespace repro;
+using interp::RuntimeValue;
+
+namespace {
+
+RuntimeValue I(int64_t v) { return RuntimeValue::makeInt(v); }
+RuntimeValue F(double v) { return RuntimeValue::makeFP(v); }
+
+double
+runDouble(const char *src, const char *fn,
+          const std::vector<RuntimeValue> &args)
+{
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    interp::registerMathBuiltins(it);
+    return it.run(module.functionByName(fn), args).f;
+}
+
+int64_t
+runInt(const char *src, const char *fn,
+       const std::vector<RuntimeValue> &args)
+{
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    interp::registerMathBuiltins(it);
+    return it.run(module.functionByName(fn), args).i;
+}
+
+} // namespace
+
+// Property-style sweep: integer operator semantics match C.
+struct IntOpCase
+{
+    const char *expr;
+    int64_t (*expected)(int64_t, int64_t);
+};
+
+class IntOps : public ::testing::TestWithParam<IntOpCase>
+{};
+
+TEST_P(IntOps, MatchesHostSemantics)
+{
+    const IntOpCase &c = GetParam();
+    std::string src = std::string("long f(long a, long b) { return ") +
+                      c.expr + "; }";
+    for (int64_t a : {-7, -1, 0, 3, 100}) {
+        for (int64_t b : {1, 2, 5, 13}) {
+            EXPECT_EQ(runInt(src.c_str(), "f", {I(a), I(b)}),
+                      c.expected(a, b))
+                << c.expr << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, IntOps,
+    ::testing::Values(
+        IntOpCase{"a + b", [](int64_t a, int64_t b) { return a + b; }},
+        IntOpCase{"a - b", [](int64_t a, int64_t b) { return a - b; }},
+        IntOpCase{"a * b", [](int64_t a, int64_t b) { return a * b; }},
+        IntOpCase{"a / b", [](int64_t a, int64_t b) { return a / b; }},
+        IntOpCase{"a % b", [](int64_t a, int64_t b) { return a % b; }},
+        IntOpCase{"a & b", [](int64_t a, int64_t b) { return a & b; }},
+        IntOpCase{"a | b", [](int64_t a, int64_t b) { return a | b; }},
+        IntOpCase{"a ^ b", [](int64_t a, int64_t b) { return a ^ b; }},
+        IntOpCase{"a < b",
+                  [](int64_t a, int64_t b) -> int64_t { return a < b; }},
+        IntOpCase{"a >= b", [](int64_t a, int64_t b) -> int64_t {
+                      return a >= b;
+                  }},
+        IntOpCase{"a == b ? a : b", [](int64_t a, int64_t b) {
+                      return a == b ? a : b;
+                  }}));
+
+TEST(Interp, ShortCircuitLogic)
+{
+    const char *src = R"(
+        int f(int a, int b) { return a > 0 && b > 0; }
+        int g(int a, int b) { return a > 0 || b > 0; }
+    )";
+    EXPECT_EQ(runInt(src, "f", {I(1), I(1)}), 1);
+    EXPECT_EQ(runInt(src, "f", {I(1), I(0)}), 0);
+    EXPECT_EQ(runInt(src, "f", {I(0), I(1)}), 0);
+    EXPECT_EQ(runInt(src, "g", {I(0), I(0)}), 0);
+    EXPECT_EQ(runInt(src, "g", {I(0), I(2)}), 1);
+}
+
+TEST(Interp, MathBuiltins)
+{
+    const char *src = R"(
+        double f(double x) { return sqrt(x) + fabs(0.0 - x) + pow(x, 2.0); }
+    )";
+    EXPECT_DOUBLE_EQ(runDouble(src, "f", {F(4.0)}),
+                     std::sqrt(4.0) + 4.0 + 16.0);
+}
+
+TEST(Interp, RecursionAndCalls)
+{
+    const char *src = R"(
+        long fact(long n) {
+            if (n <= 1) return 1;
+            return n * fact(n - 1);
+        }
+    )";
+    EXPECT_EQ(runInt(src, "fact", {I(10)}), 3628800);
+}
+
+TEST(Interp, LocalArraysAndWhileLoops)
+{
+    const char *src = R"(
+        int f(int n) {
+            int fib[32];
+            fib[0] = 0; fib[1] = 1;
+            int i = 2;
+            while (i <= n) {
+                fib[i] = fib[i-1] + fib[i-2];
+                i++;
+            }
+            return fib[n];
+        }
+    )";
+    EXPECT_EQ(runInt(src, "f", {I(11)}), 89);
+}
+
+TEST(Interp, GlobalMultiDimArrays)
+{
+    const char *src = R"(
+        double grid[4][5];
+        double f(int i, int j) {
+            grid[i][j] = 2.5;
+            grid[i][j] += 1.5;
+            return grid[i][j];
+        }
+    )";
+    EXPECT_DOUBLE_EQ(runDouble(src, "f", {I(2), I(3)}), 4.0);
+}
+
+TEST(Interp, StepLimitTrips)
+{
+    const char *src = "void f() { while (1 > 0) { } }";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    it.setStepLimit(1000);
+    EXPECT_THROW(it.run(module.functionByName("f"), {}), FatalError);
+}
+
+TEST(Interp, MemoryRangeChecked)
+{
+    interp::Memory mem;
+    uint64_t a = mem.allocate(8);
+    mem.store<double>(a, 1.0);
+    EXPECT_DOUBLE_EQ(mem.load<double>(a), 1.0);
+    EXPECT_THROW(mem.load<double>(mem.size() + 64), FatalError);
+    EXPECT_THROW(mem.load<double>(0), FatalError); // null guard
+}
+
+TEST(Interp, ProfileCountsDynamicInstructions)
+{
+    const char *src = R"(
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++)
+                s += i;
+            return s;
+        }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    it.enableProfile(true);
+    it.run(module.functionByName("f"), {I(10)});
+    uint64_t t1 = it.profile().totalSteps;
+    it.clearProfile();
+    it.run(module.functionByName("f"), {I(100)});
+    uint64_t t2 = it.profile().totalSteps;
+    EXPECT_GT(t2, t1 * 5); // roughly proportional to trip count
+}
+
+TEST(Interp, FloatRoundsToSinglePrecision)
+{
+    const char *src = R"(
+        float f(float a, float b) { return a * b + 0.1f; }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    double r = it.run(module.functionByName("f"),
+                      {F(1.375), F(2.9375)}).f;
+    float expect = 1.375f * 2.9375f;
+    expect += 0.1f;
+    EXPECT_EQ(r, static_cast<double>(expect));
+}

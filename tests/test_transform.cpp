@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "interp/builtins.h"
+#include "interp/interpreter.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "transform/binder.h"
+#include "transform/transform.h"
+
+using namespace repro;
+using interp::RuntimeValue;
+
+namespace {
+
+RuntimeValue I(int64_t v) { return RuntimeValue::makeInt(v); }
+RuntimeValue F(double v) { return RuntimeValue::makeFP(v); }
+
+/** Compile source twice: run @p fn sequentially and transformed,
+ *  then compare a double array of @p n elements at @p out_addr. */
+struct Pipeline
+{
+    std::unique_ptr<ir::Module> module =
+        std::make_unique<ir::Module>();
+    std::vector<transform::Replacement> replacements;
+    int matches = 0;
+
+    void
+    build(const char *src, bool do_transform)
+    {
+        frontend::compileMiniCOrDie(src, *module);
+        if (!do_transform)
+            return;
+        idioms::IdiomDetector det;
+        auto found = det.detectModule(*module);
+        matches = static_cast<int>(found.size());
+        transform::Transformer tr(*module);
+        replacements = tr.applyAll(found);
+        auto problems = ir::verifyModule(*module);
+        ASSERT_TRUE(problems.empty())
+            << problems.front() << "\n"
+            << ir::printModule(*module);
+    }
+};
+
+} // namespace
+
+TEST(Transform, SpmvMatchesSequential)
+{
+    const char *src = R"(
+        void spmv(int m, int *rowstr, int *colidx, double *a,
+                  double *z, double *r) {
+            for (int j = 0; j < m; j++) {
+                double d = 0.0;
+                for (int k = rowstr[j]; k < rowstr[j+1]; k++)
+                    d = d + a[k] * z[colidx[k]];
+                r[j] = d;
+            }
+        }
+    )";
+    // Tiny CSR matrix: 3 rows.
+    auto run = [&](bool transformed) {
+        Pipeline p;
+        p.build(src, transformed);
+        if (transformed) {
+            EXPECT_GE(p.matches, 1);
+            EXPECT_EQ(p.replacements.size(), 1u);
+            EXPECT_EQ(p.replacements[0].kind, "spmv");
+        }
+        interp::Memory mem;
+        interp::Interpreter it(*p.module, mem);
+        interp::registerMathBuiltins(it);
+        transform::bindReplacements(it, p.replacements);
+        uint64_t rowstr = mem.allocate(4 * 4);
+        uint64_t colidx = mem.allocate(5 * 4);
+        uint64_t a = mem.allocate(5 * 8);
+        uint64_t z = mem.allocate(3 * 8);
+        uint64_t r = mem.allocate(3 * 8);
+        int32_t rs[4] = {0, 2, 3, 5};
+        int32_t ci[5] = {0, 2, 1, 0, 2};
+        double av[5] = {1, 2, 3, 4, 5};
+        double zv[3] = {1, 10, 100};
+        for (int i = 0; i < 4; ++i) mem.store<int32_t>(rowstr+4*i, rs[i]);
+        for (int i = 0; i < 5; ++i) mem.store<int32_t>(colidx+4*i, ci[i]);
+        for (int i = 0; i < 5; ++i) mem.store<double>(a+8*i, av[i]);
+        for (int i = 0; i < 3; ++i) mem.store<double>(z+8*i, zv[i]);
+        it.run(p.module->functionByName("spmv"),
+               {I(3), I(rowstr), I(colidx), I(a), I(z), I(r)});
+        std::vector<double> out(3);
+        for (int i = 0; i < 3; ++i) out[i] = mem.load<double>(r+8*i);
+        return out;
+    };
+    auto seq = run(false);
+    auto acc = run(true);
+    ASSERT_EQ(seq.size(), acc.size());
+    for (size_t i = 0; i < seq.size(); ++i)
+        EXPECT_DOUBLE_EQ(seq[i], acc[i]) << "row " << i;
+    EXPECT_DOUBLE_EQ(seq[0], 201.0);
+}
+
+TEST(Transform, ReductionMatchesSequential)
+{
+    const char *src = R"(
+        double norm(double *a, double *b, int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s += a[i] * b[i];
+            return s;
+        }
+    )";
+    auto run = [&](bool transformed) {
+        Pipeline p;
+        p.build(src, transformed);
+        if (transformed)
+            EXPECT_EQ(p.replacements.size(), 1u);
+        interp::Memory mem;
+        interp::Interpreter it(*p.module, mem);
+        transform::bindReplacements(it, p.replacements);
+        uint64_t a = mem.allocate(8 * 8), b = mem.allocate(8 * 8);
+        for (int i = 0; i < 8; ++i) {
+            mem.store<double>(a + 8 * i, i + 1.0);
+            mem.store<double>(b + 8 * i, 0.5 * i);
+        }
+        return it.run(p.module->functionByName("norm"),
+                      {I(a), I(b), I(8)}).f;
+    };
+    EXPECT_DOUBLE_EQ(run(false), run(true));
+}
+
+TEST(Transform, HistogramMatchesSequential)
+{
+    const char *src = R"(
+        void histo(int *bins, int *key, int n) {
+            for (int i = 0; i < n; i++)
+                bins[key[i]] += 1;
+        }
+    )";
+    auto run = [&](bool transformed) {
+        Pipeline p;
+        p.build(src, transformed);
+        if (transformed)
+            EXPECT_EQ(p.replacements.size(), 1u);
+        interp::Memory mem;
+        interp::Interpreter it(*p.module, mem);
+        transform::bindReplacements(it, p.replacements);
+        uint64_t bins = mem.allocate(4 * 4), key = mem.allocate(10 * 4);
+        int32_t keys[10] = {0, 1, 2, 3, 0, 1, 2, 0, 1, 0};
+        for (int i = 0; i < 10; ++i)
+            mem.store<int32_t>(key + 4 * i, keys[i]);
+        it.run(p.module->functionByName("histo"),
+               {I(bins), I(key), I(10)});
+        std::vector<int32_t> out(4);
+        for (int i = 0; i < 4; ++i)
+            out[i] = mem.load<int32_t>(bins + 4 * i);
+        return out;
+    };
+    auto seq = run(false);
+    auto acc = run(true);
+    EXPECT_EQ(seq, acc);
+    EXPECT_EQ(seq[0], 4);
+}
+
+TEST(Transform, GemmFlatMatchesSequential)
+{
+    const char *src = R"(
+        void sgemm(float *A, int lda, float *B, int ldb, float *C,
+                   int ldc, int m, int n, int k,
+                   float alpha, float beta) {
+            for (int mm = 0; mm < m; mm++) {
+                for (int nn = 0; nn < n; nn++) {
+                    float c = 0.0f;
+                    for (int i = 0; i < k; i++)
+                        c += A[mm + i * lda] * B[nn + i * ldb];
+                    C[mm+nn*ldc] = C[mm+nn*ldc] * beta + alpha * c;
+                }
+            }
+        }
+    )";
+    const int M = 4, N = 3, K = 5;
+    auto run = [&](bool transformed) {
+        Pipeline p;
+        p.build(src, transformed);
+        if (transformed) {
+            EXPECT_EQ(p.replacements.size(), 1u);
+            EXPECT_EQ(p.replacements[0].kind, "gemm");
+        }
+        interp::Memory mem;
+        interp::Interpreter it(*p.module, mem);
+        transform::bindReplacements(it, p.replacements);
+        uint64_t A = mem.allocate(M * K * 4);
+        uint64_t B = mem.allocate(N * K * 4);
+        uint64_t C = mem.allocate(M * N * 4);
+        for (int i = 0; i < M * K; ++i)
+            mem.store<float>(A + 4 * i, 0.25f * i);
+        for (int i = 0; i < N * K; ++i)
+            mem.store<float>(B + 4 * i, 1.0f - 0.1f * i);
+        for (int i = 0; i < M * N; ++i)
+            mem.store<float>(C + 4 * i, 2.0f);
+        it.run(p.module->functionByName("sgemm"),
+               {I(A), I(M), I(B), I(N), I(C), I(M), I(M), I(N), I(K),
+                F(1.5), F(0.5)});
+        std::vector<float> out(M * N);
+        for (int i = 0; i < M * N; ++i)
+            out[i] = mem.load<float>(C + 4 * i);
+        return out;
+    };
+    auto seq = run(false);
+    auto acc = run(true);
+    for (size_t i = 0; i < seq.size(); ++i)
+        EXPECT_FLOAT_EQ(seq[i], acc[i]) << "elem " << i;
+}
+
+TEST(Transform, Stencil3dMatchesSequential)
+{
+    const char *src = R"(
+        void stencil(double c0, double c1, double *A0, double *Anext,
+                     int nx, int ny, int nz) {
+            for (int k = 1; k < nz - 1; k++)
+                for (int j = 1; j < ny - 1; j++)
+                    for (int i = 1; i < nx - 1; i++)
+                        Anext[i + nx * (j + ny * k)] =
+                          c1 * (A0[(i+1) + nx * (j + ny * k)] +
+                                A0[(i-1) + nx * (j + ny * k)] +
+                                A0[i + nx * ((j+1) + ny * k)] +
+                                A0[i + nx * ((j-1) + ny * k)] +
+                                A0[i + nx * (j + ny * (k+1))] +
+                                A0[i + nx * (j + ny * (k-1))]) -
+                          c0 * A0[i + nx * (j + ny * k)];
+        }
+    )";
+    const int NX = 6, NY = 5, NZ = 4, TOTAL = NX * NY * NZ;
+    auto run = [&](bool transformed) {
+        Pipeline p;
+        p.build(src, transformed);
+        if (transformed) {
+            EXPECT_EQ(p.replacements.size(), 1u);
+            EXPECT_EQ(p.replacements[0].kind, "stencil3d");
+        }
+        interp::Memory mem;
+        interp::Interpreter it(*p.module, mem);
+        transform::bindReplacements(it, p.replacements);
+        uint64_t A0 = mem.allocate(TOTAL * 8);
+        uint64_t An = mem.allocate(TOTAL * 8);
+        for (int i = 0; i < TOTAL; ++i)
+            mem.store<double>(A0 + 8 * i, 0.01 * i * (i % 7));
+        it.run(p.module->functionByName("stencil"),
+               {F(2.0), F(0.1), I(A0), I(An), I(NX), I(NY), I(NZ)});
+        std::vector<double> out(TOTAL);
+        for (int i = 0; i < TOTAL; ++i)
+            out[i] = mem.load<double>(An + 8 * i);
+        return out;
+    };
+    auto seq = run(false);
+    auto acc = run(true);
+    for (size_t i = 0; i < seq.size(); ++i)
+        EXPECT_DOUBLE_EQ(seq[i], acc[i]) << "cell " << i;
+}
