@@ -7,7 +7,6 @@
  * conjunction destroys that property and the solver falls back to
  * goal rotation and wide enumeration.
  */
-#include <chrono>
 #include <cstdio>
 #include <functional>
 
@@ -39,16 +38,12 @@ struct Run
 };
 
 Run
-solveWith(ir::Function *func, const solver::ConstraintProgram &prog)
+solveWith(driver::MatchingDriver &drv, ir::Function *func,
+          const solver::ConstraintProgram &prog)
 {
-    analysis::FunctionAnalyses fa(func);
-    solver::Solver s(func, fa);
-    auto t0 = std::chrono::steady_clock::now();
-    auto sols = s.solveAll(prog);
-    auto d = std::chrono::steady_clock::now() - t0;
-    return {s.stats().assignments,
-            std::chrono::duration<double, std::milli>(d).count(),
-            sols.size()};
+    auto outcome = drv.solveProgram(func, prog);
+    return {outcome.stats.assignments, outcome.solveMillis,
+            outcome.solutions.size()};
 }
 
 } // namespace
@@ -72,15 +67,16 @@ main()
         ir::Module module;
         frontend::compileMiniCOrDie(b.source, module);
         ir::Function *func = module.functionByName(b.entry);
+        driver::MatchingDriver drv;
 
         auto ordered =
             idl::lowerIdiom(idioms::idiomLibrary(), c.idiom);
-        Run r1 = solveWith(func, ordered);
+        Run r1 = solveWith(drv, func, ordered);
 
         auto reversed =
             idl::lowerIdiom(idioms::idiomLibrary(), c.idiom);
         reverseConjunctions(*reversed.root);
-        Run r2 = solveWith(func, reversed);
+        Run r2 = solveWith(drv, func, reversed);
 
         if (r1.solutions != r2.solutions) {
             std::printf("WARNING: solution count differs (%zu vs "

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "benchmarks/suite.h"
+#include "driver/driver.h"
 #include "frontend/compiler.h"
 #include "idioms/library.h"
 
@@ -37,14 +38,13 @@ struct ClassCounts
     int total() const { return sr + h + st + m + sp; }
 };
 
-/** Compile one benchmark and detect its idioms. */
+/** Compile one benchmark and detect its idioms (batched driver). */
 inline std::vector<idioms::IdiomMatch>
 detectBenchmark(const benchmarks::BenchmarkProgram &b,
                 ir::Module &module)
 {
-    frontend::compileMiniCOrDie(b.source, module);
-    idioms::IdiomDetector detector;
-    return detector.detectModule(module);
+    driver::MatchingDriver drv;
+    return drv.compileAndMatch(b.source, module).allMatches();
 }
 
 inline ClassCounts

@@ -1,0 +1,139 @@
+#include "driver/driver.h"
+
+#include <chrono>
+
+#include "frontend/compiler.h"
+
+namespace repro::driver {
+
+std::vector<idioms::IdiomMatch>
+MatchReport::allMatches() const
+{
+    std::vector<idioms::IdiomMatch> all;
+    for (const auto &fr : functions)
+        all.insert(all.end(), fr.matches.begin(), fr.matches.end());
+    return all;
+}
+
+size_t
+MatchReport::matchCount() const
+{
+    size_t n = 0;
+    for (const auto &fr : functions)
+        n += fr.matches.size();
+    return n;
+}
+
+MatchingDriver::MatchingDriver(DriverOptions opts) : opts_(opts) {}
+
+MatchReport
+MatchingDriver::compileAndMatch(const std::string &source,
+                                ir::Module &module)
+{
+    // A new batch over a new module: entries from any earlier module
+    // are stale (its functions may even share recycled addresses).
+    invalidateAll();
+    frontend::compileMiniCOrDie(source, module);
+    return matchModule(module);
+}
+
+MatchReport
+MatchingDriver::matchModule(ir::Module &module)
+{
+    MatchReport report;
+    for (const auto &f : module.functions()) {
+        if (f->isDeclaration())
+            continue;
+        FunctionReport fr;
+        fr.function = f.get();
+        idioms::IdiomDetector detector(opts_.limits);
+        fr.matches = detector.detect(f.get(), analysesFor(f.get()));
+        fr.stats = detector.stats();
+        accumulate(fr.stats);
+        report.totals += fr.stats;
+        report.functions.push_back(std::move(fr));
+    }
+    if (opts_.applyTransforms) {
+        transform::Transformer transformer(module);
+        report.replacements = transformer.applyAll(report.allMatches());
+        // The transformation stage rewrites matched functions and adds
+        // extracted kernels; every cached analysis is suspect now.
+        invalidateAll();
+    }
+    return report;
+}
+
+std::vector<idioms::IdiomMatch>
+MatchingDriver::matchFunction(ir::Function *func)
+{
+    idioms::IdiomDetector detector(opts_.limits);
+    auto matches = detector.detect(func, analysesFor(func));
+    accumulate(detector.stats());
+    return matches;
+}
+
+std::vector<idioms::IdiomMatch>
+MatchingDriver::matchOne(ir::Function *func, const std::string &idiom)
+{
+    idioms::IdiomDetector detector(opts_.limits);
+    auto matches = detector.detectOne(func, idiom, analysesFor(func));
+    accumulate(detector.stats());
+    return matches;
+}
+
+SolveOutcome
+MatchingDriver::solveProgram(ir::Function *func,
+                             const solver::ConstraintProgram &program)
+{
+    analysis::FunctionAnalyses &fa = analysesFor(func);
+    // Build the lazy analyses up front so solveMillis measures the
+    // search alone, cold or warm cache alike.
+    fa.domTree();
+    fa.postDomTree();
+    fa.cfg();
+    fa.loopInfo();
+    solver::Solver solver(func, fa);
+    SolveOutcome outcome;
+    auto t0 = std::chrono::steady_clock::now();
+    outcome.solutions = solver.solveAll(program, opts_.limits);
+    auto dt = std::chrono::steady_clock::now() - t0;
+    outcome.solveMillis =
+        std::chrono::duration<double, std::milli>(dt).count();
+    outcome.stats = solver.stats();
+    accumulate(outcome.stats);
+    return outcome;
+}
+
+analysis::FunctionAnalyses &
+MatchingDriver::analysesFor(ir::Function *func)
+{
+    if (func->parentModule() != module_) {
+        invalidateAll();
+        module_ = func->parentModule();
+    }
+    auto &slot = cache_[func];
+    if (!slot)
+        slot = std::make_unique<analysis::FunctionAnalyses>(func);
+    return *slot;
+}
+
+void
+MatchingDriver::invalidate(ir::Function *func)
+{
+    cache_.erase(func);
+}
+
+void
+MatchingDriver::invalidateAll()
+{
+    cache_.clear();
+    module_ = nullptr;
+}
+
+void
+MatchingDriver::accumulate(const solver::SolveStats &delta)
+{
+    totals_ += delta;
+}
+
+} // namespace repro::driver

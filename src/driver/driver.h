@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Batched end-to-end idiom-matching driver.
+ *
+ * Every evaluation binary of the paper (Tables 1-3, Figures 16-19)
+ * needs the same pipeline: compile MiniC to optimized SSA, run the
+ * idiom library's constraint solver over every function, and
+ * optionally apply the idiom-to-API transformations. The
+ * MatchingDriver packages that pipeline behind one entry point,
+ * caching the per-function analyses (dominators, loops, CFG) so a
+ * batch over N idioms builds them once per function instead of once
+ * per (function, idiom) pair, and aggregating SolveStats so callers
+ * get the paper's search-effort numbers without threading counters
+ * through their own loops.
+ */
+#ifndef DRIVER_DRIVER_H
+#define DRIVER_DRIVER_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/function_analyses.h"
+#include "idioms/library.h"
+#include "solver/solver.h"
+#include "transform/transform.h"
+
+namespace repro::driver {
+
+/** Pipeline configuration. */
+struct DriverOptions
+{
+    /** Limits forwarded to every constraint solve. */
+    solver::SolverLimits limits;
+    /**
+     * Run the idiom-to-API transformation stage after matching. The
+     * report's match solutions then dangle into rewritten IR; see
+     * MatchReport.
+     */
+    bool applyTransforms = false;
+};
+
+/** Matches and solver effort of one function. */
+struct FunctionReport
+{
+    ir::Function *function = nullptr;
+    std::vector<idioms::IdiomMatch> matches;
+    /** Solver effort spent on this function alone. */
+    solver::SolveStats stats;
+};
+
+/**
+ * Result of one batched run over a module.
+ *
+ * When the run applied transformations, the matches' solution
+ * bindings may reference IR the rewriting stage has since erased:
+ * use them for counting/classification only and take the surviving
+ * structure from `replacements`.
+ */
+struct MatchReport
+{
+    std::vector<FunctionReport> functions;
+    /** Replacements performed (empty unless applyTransforms). */
+    std::vector<transform::Replacement> replacements;
+    /** Solver effort summed over the whole batch. */
+    solver::SolveStats totals;
+
+    /** All matches flattened in module order. */
+    std::vector<idioms::IdiomMatch> allMatches() const;
+
+    /** Total number of matches across all functions. */
+    size_t matchCount() const;
+};
+
+/** Raw solve of one lowered constraint program (ablation studies). */
+struct SolveOutcome
+{
+    std::vector<solver::Solution> solutions;
+    solver::SolveStats stats;
+    /** Wall-clock of the search itself, excluding solver setup. */
+    double solveMillis = 0.0;
+};
+
+/**
+ * The batched matching pipeline. One driver instance owns a
+ * per-function analysis cache; reusing the instance across calls
+ * reuses the analyses as long as the underlying functions are not
+ * mutated (the transformation stage invalidates them itself).
+ *
+ * The cache holds raw pointers into one module. compileAndMatch
+ * starts every batch by dropping it, and analysesFor drops it when
+ * handed a function of a different live module; but when a module is
+ * destroyed and the driver then matches functions of a NEW module via
+ * matchFunction/matchOne/solveProgram directly, call invalidateAll()
+ * first — address recycling can defeat the pointer-identity guard.
+ */
+class MatchingDriver
+{
+  public:
+    explicit MatchingDriver(DriverOptions opts = {});
+
+    /**
+     * Full pipeline: compile @p source into @p module (parse, codegen,
+     * mem2reg, LICM, DCE), then match every function in a batch.
+     * Throws FatalError on compilation failure.
+     */
+    MatchReport compileAndMatch(const std::string &source,
+                                ir::Module &module);
+
+    /** Batch-match every defined function of an existing module. */
+    MatchReport matchModule(ir::Module &module);
+
+    /** Match one function, all top-level idioms, with subsumption. */
+    std::vector<idioms::IdiomMatch> matchFunction(ir::Function *func);
+
+    /** Match one named idiom against one function (no subsumption). */
+    std::vector<idioms::IdiomMatch>
+    matchOne(ir::Function *func, const std::string &idiom);
+
+    /**
+     * Solve an already lowered constraint program against a function,
+     * reusing cached analyses. Used by ablations that perturb the
+     * program before solving.
+     */
+    SolveOutcome solveProgram(ir::Function *func,
+                              const solver::ConstraintProgram &program);
+
+    /**
+     * The cached analyses of @p func (built on first request). The
+     * cache is scoped to one module at a time: requesting a function
+     * of a different module drops all entries, since function
+     * addresses can be recycled across module lifetimes.
+     */
+    analysis::FunctionAnalyses &analysesFor(ir::Function *func);
+
+    /** Drop cached analyses after @p func is mutated. */
+    void invalidate(ir::Function *func);
+
+    /** Drop the entire analysis cache. */
+    void invalidateAll();
+
+    /** Solver effort accumulated over the driver's lifetime. */
+    const solver::SolveStats &totals() const { return totals_; }
+
+    const DriverOptions &options() const { return opts_; }
+
+  private:
+    void accumulate(const solver::SolveStats &delta);
+
+    DriverOptions opts_;
+    solver::SolveStats totals_;
+    /** Module the cached analyses belong to. */
+    const ir::Module *module_ = nullptr;
+    std::map<ir::Function *, std::unique_ptr<analysis::FunctionAnalyses>>
+        cache_;
+};
+
+} // namespace repro::driver
+
+#endif // DRIVER_DRIVER_H

@@ -586,7 +586,7 @@ minReadsOf(const std::string &idiom)
 
 /** Collected-read array pattern per idiom. */
 std::string
-readPatternOf(const std::string &idiom)
+readPatternOf(const std::string & /*idiom*/)
 {
     return "read_value[*]";
 }
@@ -615,7 +615,12 @@ idiomClaimVars(const std::string &idiom)
     return {};
 }
 
-IdiomDetector::IdiomDetector()
+IdiomDetector::IdiomDetector() : IdiomDetector(solver::SolverLimits{})
+{
+}
+
+IdiomDetector::IdiomDetector(const solver::SolverLimits &limits)
+    : limits_(limits)
 {
     // Force-parse the library so construction fails loudly on library
     // regressions.
@@ -628,10 +633,8 @@ IdiomDetector::runIdiom(ir::Function *func, const std::string &idiom,
 {
     auto lowered = idl::lowerIdiom(idiomLibrary(), idiom);
     solver::Solver solver(func, fa);
-    auto solutions = solver.solveAll(lowered);
-    stats_.assignments += solver.stats().assignments;
-    stats_.checks += solver.stats().checks;
-    stats_.solutions += solver.stats().solutions;
+    auto solutions = solver.solveAll(lowered, limits_);
+    stats_ += solver.stats();
 
     // Deduplicate by anchor variable: one match per anchored
     // instruction regardless of how many assignments the disjunctions
@@ -689,11 +692,25 @@ IdiomDetector::detectOne(ir::Function *func, const std::string &idiom)
 }
 
 std::vector<IdiomMatch>
+IdiomDetector::detectOne(ir::Function *func, const std::string &idiom,
+                         analysis::FunctionAnalyses &fa)
+{
+    return runIdiom(func, idiom, fa);
+}
+
+std::vector<IdiomMatch>
 IdiomDetector::detect(ir::Function *func)
+{
+    analysis::FunctionAnalyses fa(func);
+    return detect(func, fa);
+}
+
+std::vector<IdiomMatch>
+IdiomDetector::detect(ir::Function *func,
+                      analysis::FunctionAnalyses &fa)
 {
     if (func->isDeclaration())
         return {};
-    analysis::FunctionAnalyses fa(func);
     std::vector<IdiomMatch> all;
     std::set<const ir::Value *> claimed;
     for (const std::string &idiom : topLevelIdioms()) {

@@ -62,9 +62,17 @@ class IdiomDetector
 {
   public:
     IdiomDetector();
+    explicit IdiomDetector(const solver::SolverLimits &limits);
 
     /** Detect all idioms in one function. */
     std::vector<IdiomMatch> detect(ir::Function *func);
+
+    /**
+     * Detect all idioms in one function, reusing externally owned
+     * analyses (the MatchingDriver's per-function cache).
+     */
+    std::vector<IdiomMatch> detect(ir::Function *func,
+                                   analysis::FunctionAnalyses &fa);
 
     /** Detect across a whole module. */
     std::vector<IdiomMatch> detectModule(ir::Module &module);
@@ -73,8 +81,16 @@ class IdiomDetector
     std::vector<IdiomMatch> detectOne(ir::Function *func,
                                       const std::string &idiom);
 
+    /** Single named idiom with externally owned analyses. */
+    std::vector<IdiomMatch> detectOne(ir::Function *func,
+                                      const std::string &idiom,
+                                      analysis::FunctionAnalyses &fa);
+
     /** Accumulated solver statistics. */
     const solver::SolveStats &stats() const { return stats_; }
+
+    /** Limits applied to every constraint solve. */
+    const solver::SolverLimits &limits() const { return limits_; }
 
   private:
     std::vector<IdiomMatch> runIdiom(ir::Function *func,
@@ -82,6 +98,7 @@ class IdiomDetector
                                      analysis::FunctionAnalyses &fa);
 
     solver::SolveStats stats_;
+    solver::SolverLimits limits_;
 };
 
 /** Anchor variable used to deduplicate matches of @p idiom. */

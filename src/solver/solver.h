@@ -48,6 +48,15 @@ struct SolveStats
     uint64_t assignments = 0; ///< variable assignments tried
     uint64_t checks = 0;      ///< atomic evaluations
     uint64_t solutions = 0;
+
+    SolveStats &
+    operator+=(const SolveStats &other)
+    {
+        assignments += other.assignments;
+        checks += other.checks;
+        solutions += other.solutions;
+        return *this;
+    }
 };
 
 /** Tunable limits protecting against pathological formulas. */
