@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,32 @@ countClasses(const std::vector<idioms::IdiomMatch> &matches)
     for (const auto &m : matches)
         c.add(m.cls);
     return c;
+}
+
+/**
+ * Compile every NAS/Parboil program into its own module (serially),
+ * ready for serial-vs-parallel matching sweeps over the Table 1
+ * workload.
+ */
+inline std::vector<std::unique_ptr<ir::Module>>
+compileSuite()
+{
+    std::vector<std::unique_ptr<ir::Module>> modules;
+    for (const auto &b : benchmarks::nasParboilSuite()) {
+        modules.push_back(std::make_unique<ir::Module>());
+        frontend::compileMiniCOrDie(b.source, *modules.back());
+    }
+    return modules;
+}
+
+/** Non-owning view of compileSuite()'s result for runParallelBatch. */
+inline std::vector<ir::Module *>
+modulePointers(const std::vector<std::unique_ptr<ir::Module>> &modules)
+{
+    std::vector<ir::Module *> ptrs;
+    for (const auto &m : modules)
+        ptrs.push_back(m.get());
+    return ptrs;
 }
 
 } // namespace repro::bench

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Threads-sweep benchmark of the parallel matching driver on the
+ * Table 1 workload (all 21 NAS/Parboil modules, all idioms).
+ *
+ * For each thread count the sweep times MatchingDriver::runParallelBatch
+ * over the precompiled suite, verifies the match sets and aggregated
+ * SolveStats are byte-identical to the serial driver, and emits the
+ * measurements as BENCH_parallel.json (path overridable via argv[1])
+ * so the speedup is tracked in the perf trajectory. Exits non-zero on
+ * any serial/parallel mismatch.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace repro;
+
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<std::string>
+reportKeys(const std::vector<driver::MatchReport> &reports)
+{
+    std::vector<std::string> keys;
+    for (const auto &r : reports) {
+        for (const auto &m : r.allMatches())
+            keys.push_back(idioms::matchFingerprint(m));
+    }
+    return keys;
+}
+
+solver::SolveStats
+reportTotals(const std::vector<driver::MatchReport> &reports)
+{
+    solver::SolveStats totals;
+    for (const auto &r : reports)
+        totals += r.totals;
+    return totals;
+}
+
+/** Best-of-@p reps wall-clock of @p fn in milliseconds. */
+template <typename Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        double t0 = nowMs();
+        fn();
+        double dt = nowMs() - t0;
+        if (r == 0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
+
+struct SweepPoint
+{
+    unsigned threads;
+    double millis;
+    double speedup;
+    bool identical;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *out_path =
+        argc > 1 ? argv[1] : "BENCH_parallel.json";
+    const int reps = 5;
+
+    auto modules = bench::compileSuite();
+    auto ptrs = bench::modulePointers(modules);
+
+    // Serial reference: one matchModule pass per module.
+    std::vector<driver::MatchReport> serialReports;
+    double serial_ms = bestOf(reps, [&] {
+        serialReports.clear();
+        driver::MatchingDriver drv;
+        for (ir::Module *m : ptrs)
+            serialReports.push_back(drv.matchModule(*m));
+    });
+    auto serialKeys = reportKeys(serialReports);
+    auto serialTotals = reportTotals(serialReports);
+
+    std::printf("Parallel matching sweep: Table 1 workload "
+                "(%zu modules, %zu matches)\n",
+                ptrs.size(), serialKeys.size());
+    std::printf("%-8s %10s %9s %10s\n", "threads", "ms", "speedup",
+                "identical");
+    std::printf("%-8s %10.2f %9s %10s\n", "serial", serial_ms, "1.00x",
+                "-");
+
+    std::vector<SweepPoint> sweep;
+    bool all_identical = true;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        std::vector<driver::MatchReport> reports;
+        double ms = bestOf(reps, [&] {
+            driver::MatchingDriver drv;
+            reports = drv.runParallelBatch(ptrs, threads);
+        });
+        auto totals = reportTotals(reports);
+        bool identical =
+            reportKeys(reports) == serialKeys &&
+            totals.assignments == serialTotals.assignments &&
+            totals.checks == serialTotals.checks &&
+            totals.solutions == serialTotals.solutions;
+        all_identical = all_identical && identical;
+        SweepPoint p{threads, ms, serial_ms / ms, identical};
+        sweep.push_back(p);
+        std::printf("%-8u %10.2f %8.2fx %10s\n", threads, ms,
+                    p.speedup, identical ? "yes" : "NO");
+    }
+
+    std::ofstream out(out_path);
+    out << "{\n"
+        << "  \"workload\": \"nas-parboil-table1\",\n"
+        << "  \"modules\": " << ptrs.size() << ",\n"
+        << "  \"matches\": " << serialKeys.size() << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"serial_ms\": " << serial_ms << ",\n"
+        << "  \"sweep\": [\n";
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const auto &p = sweep[i];
+        out << "    {\"threads\": " << p.threads
+            << ", \"ms\": " << p.millis
+            << ", \"speedup\": " << p.speedup << ", \"identical\": "
+            << (p.identical ? "true" : "false") << "}"
+            << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"identical\": " << (all_identical ? "true" : "false")
+        << "\n}\n";
+    std::printf("\nwrote %s\n", out_path);
+
+    if (!all_identical) {
+        std::fprintf(stderr,
+                     "FAIL: parallel results diverge from serial\n");
+        return 1;
+    }
+    return 0;
+}

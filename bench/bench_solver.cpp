@@ -125,6 +125,25 @@ BM_DetectFullSuite(benchmark::State &state)
     }
 }
 
+/**
+ * Threads sweep of the parallel driver over the precompiled Table 1
+ * workload (matching only — compilation is excluded so the sweep
+ * isolates the sharded solve). Arg(1) is the serial-equivalent
+ * baseline of the speedup curve.
+ */
+void
+BM_MatchSuiteParallel(benchmark::State &state)
+{
+    auto modules = bench::compileSuite();
+    auto ptrs = bench::modulePointers(modules);
+    unsigned threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        driver::MatchingDriver drv;
+        auto reports = drv.runParallelBatch(ptrs, threads);
+        benchmark::DoNotOptimize(reports);
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_DetectFactorization)
@@ -138,5 +157,12 @@ BENCHMARK(BM_DetectGemmInSgemmCached);
 BENCHMARK(BM_DetectStencilInParboil);
 BENCHMARK(BM_DetectStencilInParboilCached);
 BENCHMARK(BM_DetectFullSuite)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MatchSuiteParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

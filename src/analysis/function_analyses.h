@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "analysis/candidate_index.h"
 #include "analysis/cfg.h"
 #include "analysis/dominators.h"
 #include "analysis/loops.h"
@@ -55,6 +56,19 @@ class FunctionAnalyses
     }
 
     /**
+     * The solver's candidate-generation indices (universe, opcode and
+     * constant buckets, operand-edge adjacency). Built once per
+     * function and shared by every idiom solved against it.
+     */
+    const CandidateIndex &
+    candidateIndex()
+    {
+        if (!candidates_)
+            candidates_ = std::make_unique<CandidateIndex>(func_);
+        return *candidates_;
+    }
+
+    /**
      * Control dependence edge: @p branch is a conditional branch and
      * the execution of @p inst depends on its outcome (classic
      * post-dominance criterion).
@@ -78,6 +92,7 @@ class FunctionAnalyses
         postDom_.reset();
         cfg_.reset();
         loops_.reset();
+        candidates_.reset();
     }
 
   private:
@@ -86,6 +101,7 @@ class FunctionAnalyses
     std::unique_ptr<DomTree> postDom_;
     std::unique_ptr<InstCFG> cfg_;
     std::unique_ptr<LoopInfo> loops_;
+    std::unique_ptr<CandidateIndex> candidates_;
 };
 
 /**

@@ -1,6 +1,10 @@
 #include "driver/driver.h"
 
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "frontend/compiler.h"
 
@@ -61,6 +65,151 @@ MatchingDriver::matchModule(ir::Module &module)
         invalidateAll();
     }
     return report;
+}
+
+solver::SolveStats
+MatchingDriver::matchShards(
+    const std::vector<std::pair<ir::Function *, FunctionReport *>>
+        &items,
+    unsigned numThreads)
+{
+    if (numThreads == 0) {
+        numThreads = std::thread::hardware_concurrency();
+        if (numThreads == 0)
+            numThreads = 1;
+    }
+    if (static_cast<size_t>(numThreads) > items.size())
+        numThreads = static_cast<unsigned>(items.size() ? items.size()
+                                                        : 1);
+
+    // One shared counter is the work-stealing queue: idle workers pop
+    // the next unclaimed shard, so large functions do not serialize
+    // the tail. Results go to preassigned slots; scheduling order
+    // never leaks into the report.
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::vector<solver::SolveStats> workerStats(numThreads);
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&](unsigned w) {
+        try {
+            for (size_t i =
+                     next.fetch_add(1, std::memory_order_relaxed);
+                 i < items.size() &&
+                 !failed.load(std::memory_order_relaxed);
+                 i = next.fetch_add(1, std::memory_order_relaxed)) {
+                ir::Function *func = items[i].first;
+                // Worker-owned analyses (each function is exactly one
+                // shard): no sharing with other workers or with the
+                // driver's serial cache_, hence no locks on the
+                // matching hot path.
+                analysis::FunctionAnalyses fa(func);
+                idioms::IdiomDetector detector(opts_.limits);
+                FunctionReport fr;
+                fr.function = func;
+                fr.matches = detector.detect(func, fa);
+                fr.stats = detector.stats();
+                workerStats[w] += fr.stats;
+                *items[i].second = std::move(fr);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!firstError)
+                firstError = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    if (numThreads <= 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(numThreads);
+        try {
+            for (unsigned w = 0; w < numThreads; ++w)
+                pool.emplace_back(worker, w);
+        } catch (...) {
+            // Thread creation failed (resource exhaustion): drain the
+            // queue with the started workers, then report the error —
+            // destroying a joinable std::thread would terminate().
+            failed.store(true, std::memory_order_relaxed);
+            for (auto &t : pool)
+                t.join();
+            throw;
+        }
+        for (auto &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    // Contention-free stats: each worker accumulated privately; the
+    // merge happens once, after the join.
+    solver::SolveStats merged;
+    for (const auto &s : workerStats)
+        merged += s;
+    return merged;
+}
+
+MatchReport
+MatchingDriver::runParallel(ir::Module &module, unsigned numThreads)
+{
+    std::vector<ir::Module *> modules{&module};
+    return std::move(runParallelBatch(modules, numThreads).front());
+}
+
+std::vector<MatchReport>
+MatchingDriver::runParallelBatch(
+    const std::vector<ir::Module *> &modules, unsigned numThreads)
+{
+    std::vector<MatchReport> reports(modules.size());
+
+    // Preassign report slots in module order so the result layout is
+    // deterministic before any worker runs.
+    for (size_t m = 0; m < modules.size(); ++m) {
+        for (const auto &f : modules[m]->functions()) {
+            if (f->isDeclaration())
+                continue;
+            FunctionReport fr;
+            fr.function = f.get();
+            reports[m].functions.push_back(std::move(fr));
+        }
+    }
+    std::vector<std::pair<ir::Function *, FunctionReport *>> items;
+    for (auto &report : reports) {
+        for (auto &fr : report.functions)
+            items.emplace_back(fr.function, &fr);
+    }
+
+    accumulate(matchShards(items, numThreads));
+
+    bool transformed = false;
+    for (size_t m = 0; m < modules.size(); ++m) {
+        for (const auto &fr : reports[m].functions)
+            reports[m].totals += fr.stats;
+        if (opts_.applyTransforms) {
+            transform::Transformer transformer(*modules[m]);
+            reports[m].replacements =
+                transformer.applyAll(reports[m].allMatches());
+            transformed = true;
+        }
+    }
+    // The transformation stage rewrites matched functions; any
+    // analyses the driver's serial cache holds are suspect now.
+    if (transformed)
+        invalidateAll();
+    return reports;
+}
+
+MatchReport
+MatchingDriver::compileAndMatchParallel(const std::string &source,
+                                        ir::Module &module,
+                                        unsigned numThreads)
+{
+    invalidateAll();
+    frontend::compileMiniCOrDie(source, module);
+    return runParallel(module, numThreads);
 }
 
 std::vector<idioms::IdiomMatch>

@@ -7,11 +7,21 @@
  * idiom library's constraint solver over every function, and
  * optionally apply the idiom-to-API transformations. The
  * MatchingDriver packages that pipeline behind one entry point,
- * caching the per-function analyses (dominators, loops, CFG) so a
- * batch over N idioms builds them once per function instead of once
- * per (function, idiom) pair, and aggregating SolveStats so callers
- * get the paper's search-effort numbers without threading counters
- * through their own loops.
+ * caching the per-function analyses (dominators, loops, CFG,
+ * candidate indices) so a batch over N idioms builds them once per
+ * function instead of once per (function, idiom) pair, and
+ * aggregating SolveStats so callers get the paper's search-effort
+ * numbers without threading counters through their own loops.
+ *
+ * Matching is embarrassingly parallel across functions: solving
+ * writes nothing outside per-function state (analyses, candidate
+ * indices including the function's own value ids, solver stats), all
+ * of which is owned by a single worker. runParallel /
+ * runParallelBatch exploit that with a work-stealing shard pool while
+ * keeping results byte-identical to the serial driver. The guarantee
+ * is scoped per function: run at most one matching pass over a given
+ * module at a time (two concurrent runs would both build indices —
+ * and write ids — for the same functions).
  */
 #ifndef DRIVER_DRIVER_H
 #define DRIVER_DRIVER_H
@@ -111,6 +121,41 @@ class MatchingDriver
     /** Batch-match every defined function of an existing module. */
     MatchReport matchModule(ir::Module &module);
 
+    /**
+     * Parallel matchModule: the module's defined functions become
+     * shards on a work-stealing queue drained by @p numThreads
+     * workers (0 = hardware concurrency, 1 = inline on the calling
+     * thread). Each worker owns its FunctionAnalyses cache and a
+     * private SolveStats accumulator, merged at join, so the match
+     * sets, the per-function stats and the aggregated totals are
+     * byte-identical to matchModule() and reported in module order
+     * regardless of scheduling. The optional transformation stage
+     * still runs serially after the join (it rewrites the module).
+     */
+    MatchReport runParallel(ir::Module &module,
+                            unsigned numThreads = 0);
+
+    /**
+     * Parallel matching across several modules through one shared
+     * work-stealing queue — the right shape when every module has few
+     * functions (each of the paper's 21 benchmark programs compiles
+     * to a single-function module). Reports are returned in
+     * @p modules order with the same determinism guarantees as
+     * runParallel.
+     */
+    std::vector<MatchReport>
+    runParallelBatch(const std::vector<ir::Module *> &modules,
+                     unsigned numThreads = 0);
+
+    /**
+     * Full pipeline with parallel matching: serial compile (parse,
+     * codegen, mem2reg, LICM, DCE), then runParallel over the result.
+     * Throws FatalError on compilation failure.
+     */
+    MatchReport compileAndMatchParallel(const std::string &source,
+                                        ir::Module &module,
+                                        unsigned numThreads = 0);
+
     /** Match one function, all top-level idioms, with subsumption. */
     std::vector<idioms::IdiomMatch> matchFunction(ir::Function *func);
 
@@ -147,6 +192,16 @@ class MatchingDriver
 
   private:
     void accumulate(const solver::SolveStats &delta);
+
+    /**
+     * The parallel engine: drain (function, report slot) work items
+     * with @p numThreads workers and return the merged per-worker
+     * stats. Slot pointers must stay stable for the whole call.
+     */
+    solver::SolveStats
+    matchShards(const std::vector<std::pair<ir::Function *,
+                                            FunctionReport *>> &items,
+                unsigned numThreads);
 
     DriverOptions opts_;
     solver::SolveStats totals_;

@@ -522,6 +522,13 @@ idiomClassName(IdiomClass cls)
     return "Other";
 }
 
+std::string
+matchFingerprint(const IdiomMatch &match)
+{
+    return match.idiom + "|" + idiomClassName(match.cls) + "|" +
+           match.function->name() + "|" + match.solution.str();
+}
+
 IdiomClass
 idiomClassOf(const std::string &idiom)
 {
@@ -547,6 +554,24 @@ topLevelIdioms()
     // loops are already claimed.
     return {"GEMM",      "SPMV",      "Stencil3D", "Stencil2D",
             "Stencil1D", "Histogram", "Reduction"};
+}
+
+const solver::ConstraintProgram *
+loweredIdiomOrNull(const std::string &idiom)
+{
+    // Built eagerly under the magic-static lock so concurrent
+    // matching shards only ever read the finished map.
+    static const auto cache = [] {
+        std::map<std::string, solver::ConstraintProgram> m;
+        for (const auto &name : topLevelIdioms())
+            m.emplace(name, idl::lowerIdiom(idiomLibrary(), name));
+        m.emplace("FactorizationOpportunity",
+                  idl::lowerIdiom(idiomLibrary(),
+                                  "FactorizationOpportunity"));
+        return m;
+    }();
+    auto it = cache.find(idiom);
+    return it == cache.end() ? nullptr : &it->second;
 }
 
 std::string
@@ -631,9 +656,17 @@ std::vector<IdiomMatch>
 IdiomDetector::runIdiom(ir::Function *func, const std::string &idiom,
                         analysis::FunctionAnalyses &fa)
 {
-    auto lowered = idl::lowerIdiom(idiomLibrary(), idiom);
+    // Library idioms solve the shared pre-lowered program; custom
+    // names (building blocks, tests) are lowered on the fly.
+    const solver::ConstraintProgram *program =
+        loweredIdiomOrNull(idiom);
+    solver::ConstraintProgram fresh;
+    if (!program) {
+        fresh = idl::lowerIdiom(idiomLibrary(), idiom);
+        program = &fresh;
+    }
     solver::Solver solver(func, fa);
-    auto solutions = solver.solveAll(lowered, limits_);
+    auto solutions = solver.solveAll(*program, limits_);
     stats_ += solver.stats();
 
     // Deduplicate by anchor variable: one match per anchored

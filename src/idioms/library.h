@@ -43,6 +43,13 @@ struct IdiomMatch
     ir::Function *function = nullptr;
 };
 
+/**
+ * Stable serialization of a match's full identity (idiom, class,
+ * function name, every solution binding) — the comparison key the
+ * serial-vs-parallel equivalence tests, benches and examples share.
+ */
+std::string matchFingerprint(const IdiomMatch &match);
+
 /** Source text of the complete IDL idiom library. */
 const std::string &idiomLibrarySource();
 
@@ -51,6 +58,16 @@ const idl::IdlProgram &idiomLibrary();
 
 /** Names of the top-level idioms the detector searches for. */
 std::vector<std::string> topLevelIdioms();
+
+/**
+ * Pre-lowered constraint program of @p idiom, built once and shared
+ * (lowering is function-independent, so re-lowering per matched
+ * function is pure setup overhead). Covers the top-level idioms plus
+ * FactorizationOpportunity; returns nullptr for any other name. The
+ * returned program is immutable and safe to solve from any thread.
+ */
+const solver::ConstraintProgram *
+loweredIdiomOrNull(const std::string &idiom);
 
 /**
  * The detection driver: runs every top-level idiom over a function,

@@ -30,6 +30,7 @@ void gemm(double *c, int64_t c0, int64_t c1, const double *a,
           int64_t b2, int64_t m, int64_t n, int64_t kk, double alpha,
           double beta);
 
+/** Single-precision gemm() (the cblas_sgemm analogue). */
 void sgemm(float *c, int64_t c0, int64_t c1, const float *a,
            int64_t a0, int64_t a2, const float *b, int64_t b1,
            int64_t b2, int64_t m, int64_t n, int64_t kk, float alpha,

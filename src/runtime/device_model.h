@@ -33,7 +33,10 @@ enum class Platform
     DGPU, ///< NVIDIA GTX Titan X over PCIe
 };
 
+/** Display name of @p p ("CPU", "iGPU", "dGPU"). */
 const char *platformName(Platform p);
+
+/** All platforms, in Table 3 column order. */
 std::vector<Platform> allPlatforms();
 
 /** Heterogeneous APIs targeted by the transformation (section 5). */
@@ -50,7 +53,10 @@ enum class Api
     CuBLAS,   ///< CUDA BLAS (dGPU)
 };
 
+/** Display name of @p api as printed in Table 3. */
 const char *apiName(Api api);
+
+/** All APIs, in Table 3 row order. */
 std::vector<Api> allApis();
 
 /** Which platform an API runs on. */
@@ -90,6 +96,7 @@ struct DeviceParams
     double pcieLatencyUs;  ///< fixed DMA/sync cost per transfer
 };
 
+/** Hardware parameters of platform @p p (calibrated to the paper). */
 const DeviceParams &deviceParams(Platform p);
 
 /** Efficiency of @p api for idiom class @p cls on platform @p p. */

@@ -25,8 +25,10 @@ struct Buffer
     std::vector<int64_t> dims; ///< outermost first
     std::vector<double> data;
 
+    /** Zero-initialized buffer of the given shape. */
     static Buffer make(std::vector<int64_t> dims);
 
+    /** Flat index of @p pos with clamp-to-edge boundary handling. */
     int64_t
     index(const std::vector<int64_t> &pos) const
     {
@@ -42,6 +44,7 @@ struct Buffer
         return idx;
     }
 
+    /** Element at @p pos (clamped). */
     double at(const std::vector<int64_t> &pos) const
     {
         return data[static_cast<size_t>(index(pos))];
@@ -74,9 +77,11 @@ class ExprNode
     explicit ExprNode(Kind k) : kind(k) {}
 };
 
+/** Constant-valued expression. */
 Expr constant(double v);
 /** Access input @p input_index displaced by @p offsets. */
 Expr inputAt(int input_index, std::vector<int64_t> offsets);
+/** Pointwise arithmetic over expressions. */
 Expr operator+(Expr a, Expr b);
 Expr operator-(Expr a, Expr b);
 Expr operator*(Expr a, Expr b);
@@ -90,6 +95,7 @@ struct Schedule
     bool parallelOuter = false;
     int vectorWidth = 1;
 
+    /** Human-readable schedule summary for examples/benches. */
     std::string str() const;
 };
 
@@ -99,7 +105,10 @@ class Func
   public:
     explicit Func(std::string name) : name_(std::move(name)) {}
 
+    /** Set the pure definition: out(pos) = @p body evaluated at pos. */
     void define(Expr body) { body_ = std::move(body); }
+
+    /** Mutable scheduling directives (cost model only). */
     Schedule &schedule() { return schedule_; }
 
     /** Evaluate over the full grid of @p shape. */

@@ -29,7 +29,10 @@ class Value
         : items_(std::move(items))
     {}
 
+    /** 1D array value from a flat vector. */
     static Value fromVector(const std::vector<double> &data);
+
+    /** 2D array value (rows of cols) from row-major flat data. */
     static Value fromMatrix(const std::vector<double> &data,
                             size_t rows, size_t cols);
 
@@ -38,6 +41,7 @@ class Value
     const std::vector<Value> &items() const { return items_; }
     size_t size() const { return items_.size(); }
 
+    /** Flatten a 1D array of scalars back into a vector. */
     std::vector<double> toVector() const;
 
   private:
@@ -82,14 +86,20 @@ class Expr
 };
 
 // Constructors (the Lift surface language).
+/** Leaf holding a concrete value. */
 ExprPtr input(Value v, std::string label = "in");
+/** Elementwise pairing of two equal-length arrays. */
 ExprPtr zip(ExprPtr a, ExprPtr b);
+/** Apply @p fn to every element. */
 ExprPtr map(Fn1 fn, ExprPtr e, std::string label = "f");
+/** Fold @p e with @p fn starting from @p init. */
 ExprPtr reduce(Fn2 fn, Value init, ExprPtr e,
                std::string label = "op");
+/** Swap the two outermost array dimensions. */
 ExprPtr transpose(ExprPtr e);
 /** Sliding window (the Lift stencil primitive). */
 ExprPtr slide(size_t size, size_t step, ExprPtr e);
+/** Flatten one level of array nesting. */
 ExprPtr join(ExprPtr e);
 
 /** Evaluate an expression tree. */

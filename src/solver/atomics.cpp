@@ -402,37 +402,18 @@ genCandidates(const Node &node, size_t var_index, const Bindings &bound,
         Opcode op;
         if (!opcodeFromName(node.opcodeName, op))
             return out; // unknown opcode: empty set
-        auto it = ctx.byOpcode->find(op);
-        if (it != ctx.byOpcode->end())
-            return it->second;
-        return out;
+        return ctx.index->opcode(op);
       }
-      case AtomicKind::IsInstruction: {
-        for (const Value *v : *ctx.universe) {
-            if (v->isInstruction())
-                out.push_back(v);
-        }
-        return out;
-      }
+      case AtomicKind::IsInstruction:
+        return ctx.index->instructions();
       case AtomicKind::IsArgument:
-        return *ctx.arguments;
+        return ctx.index->arguments();
       case AtomicKind::IsConstant:
-      case AtomicKind::IsConstantZero: {
-        for (const Value *v : *ctx.constants) {
-            if (node.atomic == AtomicKind::IsConstant ||
-                static_cast<const ir::Constant *>(v)->isZero()) {
-                out.push_back(v);
-            }
-        }
-        return out;
-      }
-      case AtomicKind::IsCompileTimeValue: {
-        for (const Value *v : *ctx.universe) {
-            if (v->isConstant() || v->isArgument() || v->isGlobal())
-                out.push_back(v);
-        }
-        return out;
-      }
+        return ctx.index->constants();
+      case AtomicKind::IsConstantZero:
+        return ctx.index->zeroConstants();
+      case AtomicKind::IsCompileTimeValue:
+        return ctx.index->compileTimeValues();
       case AtomicKind::Same: {
         const Value *other = get(var_index == 0 ? 1 : 0);
         if (other) {
@@ -454,12 +435,10 @@ genCandidates(const Node &node, size_t var_index, const Bindings &bound,
         const Value *a = get(0);
         if (!a)
             return std::nullopt;
+        // Operand-edge adjacency: users holding {a} at the wanted
+        // position were indexed up front.
         size_t pos = static_cast<size_t>(node.argPosition - 1);
-        for (const Instruction *user : a->users()) {
-            if (pos < user->numOperands() && user->operand(pos) == a)
-                out.push_back(user);
-        }
-        return out;
+        return ctx.index->usersAt(a, pos);
       }
       case AtomicKind::HasDataFlowTo: {
         if (var_index == 0) {

@@ -23,11 +23,8 @@ struct AtomContext
 {
     ir::Function *func = nullptr;
     analysis::FunctionAnalyses *analyses = nullptr;
-    const std::vector<const ir::Value *> *universe = nullptr;
-    const std::map<ir::Opcode, std::vector<const ir::Value *>>
-        *byOpcode = nullptr;
-    const std::vector<const ir::Value *> *constants = nullptr;
-    const std::vector<const ir::Value *> *arguments = nullptr;
+    /** Candidate-generation indices (owned by the FunctionAnalyses). */
+    const analysis::CandidateIndex *index = nullptr;
 };
 
 /**

@@ -355,20 +355,9 @@ class SearchState
 } // namespace
 
 Solver::Solver(ir::Function *func, analysis::FunctionAnalyses &analyses)
-    : func_(func), analyses_(analyses)
+    : func_(func), analyses_(analyses),
+      index_(analyses.candidateIndex())
 {
-    std::vector<Value *> values = func->renumber();
-    for (Value *v : values) {
-        universe_.push_back(v);
-        if (v->isInstruction()) {
-            byOpcode_[static_cast<Instruction *>(v)->opcode()]
-                .push_back(v);
-        } else if (v->isConstant()) {
-            constants_.push_back(v);
-        } else if (v->isArgument()) {
-            arguments_.push_back(v);
-        }
-    }
 }
 
 std::vector<Solution>
@@ -379,10 +368,7 @@ Solver::solveAll(const ConstraintProgram &program,
     AtomContext ctx;
     ctx.func = func_;
     ctx.analyses = &analyses_;
-    ctx.universe = &universe_;
-    ctx.byOpcode = &byOpcode_;
-    ctx.constants = &constants_;
-    ctx.arguments = &arguments_;
+    ctx.index = &index_;
     SearchState state(ctx, stats_, limits, results);
     state.run(program.root.get());
     return results;

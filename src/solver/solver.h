@@ -66,7 +66,18 @@ struct SolverLimits
     size_t maxSolutions = 4096;
 };
 
-/** Solves one idiom against one function. */
+/**
+ * Solves one idiom against one function.
+ *
+ * Construction is cheap: the value universe and candidate buckets
+ * live in the analyses' CandidateIndex, built once per function and
+ * shared by every Solver (one per idiom) created against it. Solving
+ * touches no state outside the function's own analyses (index
+ * construction assigns the function's argument/instruction ids;
+ * nothing module-shared is written), so functions of one module can
+ * be solved concurrently as long as each function's FunctionAnalyses
+ * is owned by a single thread.
+ */
 class Solver
 {
   public:
@@ -82,10 +93,7 @@ class Solver
     friend class SearchState;
     ir::Function *func_;
     analysis::FunctionAnalyses &analyses_;
-    std::vector<const ir::Value *> universe_;
-    std::map<ir::Opcode, std::vector<const ir::Value *>> byOpcode_;
-    std::vector<const ir::Value *> constants_;
-    std::vector<const ir::Value *> arguments_;
+    const analysis::CandidateIndex &index_;
     SolveStats stats_;
 };
 

@@ -15,10 +15,13 @@
 namespace repro::transform {
 
 /**
- * Register native handlers for every replacement. DSL-backed idioms
- * (reduce/histogram/stencil) call back into their extracted IR kernel
- * functions through the interpreter; library-backed ones (spmv/gemm)
- * run directly over the heap.
+ * Register a native handler with @p interp for every entry of
+ * @p replacements, so a transformed module stays executable:
+ * DSL-backed idioms (reduce/histogram/stencil) call back into their
+ * extracted IR kernel functions through the interpreter, while
+ * library-backed ones (spmv/gemm) run directly over the heap via
+ * runtime/sparse.h and runtime/blas.h. Call after
+ * transform::Transformer::applyAll and before Interpreter::run.
  */
 void bindReplacements(interp::Interpreter &interp,
                       const std::vector<Replacement> &replacements);

@@ -25,20 +25,12 @@ const char *kQuickstartSource = R"(
     }
 )";
 
-/** Serialize a match so two match sets can be compared exactly. */
-std::string
-matchKey(const idioms::IdiomMatch &m)
-{
-    return m.idiom + "|" + idioms::idiomClassName(m.cls) + "|" +
-           m.function->name() + "|" + m.solution.str();
-}
-
 std::vector<std::string>
 matchKeys(const std::vector<idioms::IdiomMatch> &matches)
 {
     std::vector<std::string> keys;
     for (const auto &m : matches)
-        keys.push_back(matchKey(m));
+        keys.push_back(idioms::matchFingerprint(m));
     return keys;
 }
 
