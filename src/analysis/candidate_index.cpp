@@ -22,6 +22,8 @@ CandidateIndex::add(Value *v)
     // index builds.
     if (v->isArgument() || v->isInstruction())
         v->setId(static_cast<int>(universe_.size()));
+    else
+        sharedIndex_.emplace(v, static_cast<uint32_t>(universe_.size()));
     universe_.push_back(v);
     if (v->isInstruction()) {
         instructions_.push_back(v);

@@ -42,6 +42,9 @@ class CandidateIndex
     /** Operand positions indexed for usersAt (IDL "first".."fourth"). */
     static constexpr size_t kMaxArgPositions = 4;
 
+    /** indexOf() result for values outside the universe. */
+    static constexpr uint32_t npos = 0xffffffffu;
+
     /**
      * Build all indices in one pass. Writes only @p func's own
      * argument/instruction ids; module-shared values are untouched.
@@ -96,6 +99,31 @@ class CandidateIndex
     }
 
     /**
+     * Dense universe position of @p v, or npos when @p v is not part
+     * of this function's universe. O(1) for arguments/instructions
+     * (their ids are the universe positions this index assigned);
+     * a map probe for the module-shared constants and globals. Backs
+     * the solver's epoch-stamped candidate deduplication.
+     */
+    uint32_t
+    indexOf(const ir::Value *v) const
+    {
+        if (!v)
+            return npos;
+        if (v->isArgument() || v->isInstruction()) {
+            int id = v->id();
+            // Guard against ids rewritten by a later renumber().
+            if (id >= 0 && static_cast<size_t>(id) < universe_.size() &&
+                universe_[static_cast<size_t>(id)] == v) {
+                return static_cast<uint32_t>(id);
+            }
+            return npos;
+        }
+        auto it = sharedIndex_.find(v);
+        return it == sharedIndex_.end() ? npos : it->second;
+    }
+
+    /**
      * Operand-edge adjacency: the users of @p v that carry it at
      * 0-based operand position @p pos (pos < kMaxArgPositions), in
      * Value::users() order. Empty for unindexed values/positions.
@@ -119,6 +147,8 @@ class CandidateIndex
     std::vector<const ir::Value *> arguments_;
     std::vector<const ir::Value *> compileTime_;
     std::map<ir::Opcode, std::vector<const ir::Value *>> byOpcode_;
+    /** Universe positions of constants/globals (ids stay unwritten). */
+    std::map<const ir::Value *, uint32_t> sharedIndex_;
     std::map<const ir::Value *,
              std::array<std::vector<const ir::Value *>,
                         kMaxArgPositions>>

@@ -556,22 +556,54 @@ topLevelIdioms()
             "Stencil1D", "Histogram", "Reduction"};
 }
 
-const solver::ConstraintProgram *
-loweredIdiomOrNull(const std::string &idiom)
+namespace {
+
+/** Lowered + compiled forms of one cached idiom. */
+struct CachedIdiom
+{
+    solver::ConstraintProgram lowered;
+    solver::CompiledProgram compiled;
+
+    explicit CachedIdiom(solver::ConstraintProgram prog)
+        : lowered(std::move(prog)), compiled(lowered)
+    {}
+};
+
+const std::map<std::string, CachedIdiom> &
+idiomCache()
 {
     // Built eagerly under the magic-static lock so concurrent
     // matching shards only ever read the finished map.
     static const auto cache = [] {
-        std::map<std::string, solver::ConstraintProgram> m;
-        for (const auto &name : topLevelIdioms())
-            m.emplace(name, idl::lowerIdiom(idiomLibrary(), name));
+        std::map<std::string, CachedIdiom> m;
+        for (const auto &name : topLevelIdioms()) {
+            m.emplace(name, CachedIdiom(
+                                idl::lowerIdiom(idiomLibrary(), name)));
+        }
         m.emplace("FactorizationOpportunity",
-                  idl::lowerIdiom(idiomLibrary(),
-                                  "FactorizationOpportunity"));
+                  CachedIdiom(idl::lowerIdiom(
+                      idiomLibrary(), "FactorizationOpportunity")));
         return m;
     }();
+    return cache;
+}
+
+} // namespace
+
+const solver::ConstraintProgram *
+loweredIdiomOrNull(const std::string &idiom)
+{
+    const auto &cache = idiomCache();
     auto it = cache.find(idiom);
-    return it == cache.end() ? nullptr : &it->second;
+    return it == cache.end() ? nullptr : &it->second.lowered;
+}
+
+const solver::CompiledProgram *
+compiledIdiomOrNull(const std::string &idiom)
+{
+    const auto &cache = idiomCache();
+    auto it = cache.find(idiom);
+    return it == cache.end() ? nullptr : &it->second.compiled;
 }
 
 std::string
@@ -656,17 +688,19 @@ std::vector<IdiomMatch>
 IdiomDetector::runIdiom(ir::Function *func, const std::string &idiom,
                         analysis::FunctionAnalyses &fa)
 {
-    // Library idioms solve the shared pre-lowered program; custom
-    // names (building blocks, tests) are lowered on the fly.
-    const solver::ConstraintProgram *program =
-        loweredIdiomOrNull(idiom);
-    solver::ConstraintProgram fresh;
-    if (!program) {
-        fresh = idl::lowerIdiom(idiomLibrary(), idiom);
-        program = &fresh;
-    }
+    // Library idioms solve the shared pre-compiled program; custom
+    // names (building blocks, tests) are lowered and compiled on the
+    // fly.
     solver::Solver solver(func, fa);
-    auto solutions = solver.solveAll(*program, limits_);
+    std::vector<solver::Solution> solutions;
+    if (const solver::CompiledProgram *program =
+            compiledIdiomOrNull(idiom)) {
+        solutions = solver.solveAll(*program, limits_);
+    } else {
+        solutions =
+            solver.solveAll(idl::lowerIdiom(idiomLibrary(), idiom),
+                            limits_);
+    }
     stats_ += solver.stats();
 
     // Deduplicate by anchor variable: one match per anchored

@@ -70,6 +70,17 @@ const solver::ConstraintProgram *
 loweredIdiomOrNull(const std::string &idiom);
 
 /**
+ * Slot-addressed compilation of @p idiom's lowered program (see
+ * solver/compiled.h), built once next to loweredIdiomOrNull and
+ * shared the same way: immutable, thread-safe, nullptr for names
+ * outside the cached top-level set. The detection hot path solves
+ * these; the lowered Node form remains available for ablations and
+ * the golden reference engine.
+ */
+const solver::CompiledProgram *
+compiledIdiomOrNull(const std::string &idiom);
+
+/**
  * The detection driver: runs every top-level idiom over a function,
  * deduplicates by anchor variable and applies subsumption (a loop
  * claimed by GEMM/SPMV/Stencil/Histogram is not additionally counted

@@ -1,6 +1,7 @@
 #include "solver/atomics.h"
 
 #include <algorithm>
+#include <set>
 
 #include "support/string_utils.h"
 
@@ -20,33 +21,6 @@ asInst(const Value *v)
 {
     return v && v->isInstruction() ? static_cast<const Instruction *>(v)
                                    : nullptr;
-}
-
-bool
-opcodeFromName(const std::string &name, Opcode &op)
-{
-    static const std::map<std::string, Opcode> table = {
-        {"add", Opcode::Add}, {"sub", Opcode::Sub},
-        {"mul", Opcode::Mul}, {"sdiv", Opcode::SDiv},
-        {"srem", Opcode::SRem}, {"fadd", Opcode::FAdd},
-        {"fsub", Opcode::FSub}, {"fmul", Opcode::FMul},
-        {"fdiv", Opcode::FDiv}, {"load", Opcode::Load},
-        {"store", Opcode::Store}, {"gep", Opcode::GEP},
-        {"getelementptr", Opcode::GEP}, {"alloca", Opcode::Alloca},
-        {"icmp", Opcode::ICmp}, {"fcmp", Opcode::FCmp},
-        {"select", Opcode::Select}, {"branch", Opcode::Br},
-        {"br", Opcode::Br}, {"return", Opcode::Ret},
-        {"ret", Opcode::Ret}, {"phi", Opcode::Phi},
-        {"sext", Opcode::SExt}, {"zext", Opcode::ZExt},
-        {"trunc", Opcode::Trunc}, {"sitofp", Opcode::SIToFP},
-        {"fptosi", Opcode::FPToSI}, {"fpext", Opcode::FPExt},
-        {"fptrunc", Opcode::FPTrunc}, {"call", Opcode::Call},
-    };
-    auto it = table.find(name);
-    if (it == table.end())
-        return false;
-    op = it->second;
-    return true;
 }
 
 /** Direct control flow edge a -> b at instruction granularity. */
@@ -172,7 +146,365 @@ dataFlowDominates(const Value *a, const Value *b)
     return true;
 }
 
+/**
+ * The shared evaluation core. @p get(i) yields the bound value of
+ * positional variable i (nullptr when unbound); @p getList(j) yields
+ * the expanded j-th variable list. Both views instantiate this with
+ * their own accessors, so slot and name resolution differ while the
+ * semantics cannot drift apart.
+ */
+template <typename GetFn, typename ListFn>
+bool
+evalAtomicImpl(const AtomicTraits &t, GetFn get, ListFn getList,
+               AtomContext &ctx)
+{
+    switch (t.atomic) {
+      case AtomicKind::IsIntegerType:
+        return get(0) && get(0)->type()->isInteger();
+      case AtomicKind::IsFloatType:
+        return get(0) && get(0)->type()->isFloatingPoint();
+      case AtomicKind::IsPointerType:
+        return get(0) && get(0)->type()->isPointer();
+      case AtomicKind::IsConstantZero: {
+        const Value *v = get(0);
+        if (!v || !v->isConstant())
+            return false;
+        const auto *c = static_cast<const ir::Constant *>(v);
+        if (!c->isZero())
+            return false;
+        if (t.zero == ZeroKind::Integer)
+            return c->type()->isInteger();
+        if (t.zero == ZeroKind::Float)
+            return c->type()->isFloatingPoint();
+        return c->type()->isPointer();
+      }
+      case AtomicKind::IsUnused:
+        return get(0) && get(0)->unused();
+      case AtomicKind::IsConstant:
+        return get(0) && get(0)->isConstant();
+      case AtomicKind::IsCompileTimeValue:
+        return get(0) && (get(0)->isConstant() ||
+                          get(0)->isArgument() || get(0)->isGlobal());
+      case AtomicKind::IsArgument:
+        return get(0) && get(0)->isArgument();
+      case AtomicKind::IsInstruction:
+        return get(0) && get(0)->isInstruction();
+      case AtomicKind::IsOpcode: {
+        const Instruction *inst = asInst(get(0));
+        if (!inst || !t.opcodeKnown)
+            return false;
+        return inst->opcode() == t.opcode;
+      }
+      case AtomicKind::Same:
+        return get(0) && get(0) == get(1);
+      case AtomicKind::NotSame:
+        return get(0) && get(1) && get(0) != get(1);
+      case AtomicKind::HasDataFlowTo:
+        return get(0) && hasDataEdge(get(0), asInst(get(1)));
+      case AtomicKind::HasDataFlowPathTo:
+        return get(0) && get(1) &&
+               analysis::dataPathExists(get(0), get(1), {});
+      case AtomicKind::HasControlFlowTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && hasControlEdge(ctx, a, b);
+      }
+      case AtomicKind::HasControlDominanceTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && ctx.analyses->hasControlDependenceEdge(a, b);
+      }
+      case AtomicKind::HasDependenceEdgeTo: {
+        const Instruction *a = asInst(get(0));
+        const Instruction *b = asInst(get(1));
+        return a && b && ctx.analyses->hasMemoryDependenceEdge(a, b);
+      }
+      case AtomicKind::IsArgumentOf: {
+        const Instruction *b = asInst(get(1));
+        if (!b || !get(0))
+            return false;
+        size_t pos = static_cast<size_t>(t.argPosition - 1);
+        return pos < b->numOperands() && b->operand(pos) == get(0);
+      }
+      case AtomicKind::ReachesPhiFrom: {
+        const Instruction *phi = asInst(get(1));
+        const Instruction *branch = asInst(get(2));
+        const Value *v = get(0);
+        if (!phi || !branch || !v || !phi->is(Opcode::Phi))
+            return false;
+        for (size_t i = 0; i < phi->numOperands(); ++i) {
+            if (phi->operand(i) == v &&
+                phi->incomingBlocks()[i]->terminator() == branch) {
+                return true;
+            }
+        }
+        return false;
+      }
+      case AtomicKind::Dominates: {
+        const Value *a = get(0);
+        const Value *b = get(1);
+        if (!a || !b)
+            return false;
+        bool result;
+        if (t.flow == FlowKind::Data) {
+            result = dataFlowDominates(a, b);
+            if (t.strict && a == b)
+                result = false;
+        } else {
+            const Instruction *ia = asInst(a);
+            const Instruction *ib = asInst(b);
+            if (!ia || !ib)
+                return false;
+            const analysis::DomTree &tree =
+                t.postDom ? ctx.analyses->postDomTree()
+                          : ctx.analyses->domTree();
+            result = t.strict ? tree.strictlyDominates(ia, ib)
+                              : tree.dominates(ia, ib);
+        }
+        return t.negated ? !result : result;
+      }
+      case AtomicKind::AllFlowPassesThrough: {
+        const Value *a = get(0);
+        const Value *b = get(1);
+        const Value *c = get(2);
+        if (!a || !b || !c)
+            return false;
+        if (a == c || b == c)
+            return true;
+        if (t.flow == FlowKind::Control) {
+            const Instruction *ia = asInst(a);
+            const Instruction *ib = asInst(b);
+            const Instruction *ic = asInst(c);
+            if (!ia || !ib || !ic)
+                return false;
+            return !ctx.analyses->cfg().pathExists(ia, ib, {ic});
+        }
+        if (t.flow == FlowKind::Data)
+            return !analysis::dataPathExists(a, b, {c});
+        return !analysis::anyFlowPathExists(ctx.analyses->cfg(), a, b,
+                                            {c});
+      }
+      case AtomicKind::FlowKilledBy: {
+        auto froms = getList(0);
+        auto tos = getList(1);
+        auto kills = getList(2);
+        std::set<const Value *> kill_set(kills.begin(), kills.end());
+        for (const Value *a : froms) {
+            for (const Value *b : tos) {
+                if (kill_set.count(a) || kill_set.count(b))
+                    continue;
+                bool path;
+                if (t.flow == FlowKind::Data) {
+                    path = analysis::dataPathExists(a, b, kill_set);
+                } else {
+                    path = analysis::anyFlowPathExists(
+                        ctx.analyses->cfg(), a, b, kill_set);
+                }
+                if (path)
+                    return false;
+            }
+        }
+        return true;
+      }
+      case AtomicKind::KernelClosure: {
+        const Value *out = get(0);
+        const Instruction *begin = asInst(get(1));
+        if (!out)
+            return false;
+        auto allowed_vec = getList(0);
+        std::set<const Value *> allowed(allowed_vec.begin(),
+                                        allowed_vec.end());
+        return evalKernelClosure(ctx, out, begin, allowed);
+      }
+    }
+    return false;
+}
+
+/**
+ * The shared generation core. Returns nullptr when the atomic cannot
+ * generate; otherwise a pointer to a CandidateIndex bucket (borrowed)
+ * or to @p scratch (overwritten by this call).
+ */
+template <typename GetFn>
+const std::vector<const Value *> *
+genCandidatesImpl(const AtomicTraits &t, size_t var_index, GetFn get,
+                  AtomContext &ctx,
+                  std::vector<const Value *> &scratch)
+{
+    scratch.clear();
+
+    switch (t.atomic) {
+      case AtomicKind::IsOpcode:
+        if (!t.opcodeKnown)
+            return &scratch; // unknown opcode: empty set
+        return &ctx.index->opcode(t.opcode);
+      case AtomicKind::IsInstruction:
+        return &ctx.index->instructions();
+      case AtomicKind::IsArgument:
+        return &ctx.index->arguments();
+      case AtomicKind::IsConstant:
+        return &ctx.index->constants();
+      case AtomicKind::IsConstantZero:
+        return &ctx.index->zeroConstants();
+      case AtomicKind::IsCompileTimeValue:
+        return &ctx.index->compileTimeValues();
+      case AtomicKind::Same: {
+        const Value *other = get(var_index == 0 ? 1 : 0);
+        if (other) {
+            scratch.push_back(other);
+            return &scratch;
+        }
+        return nullptr;
+      }
+      case AtomicKind::IsArgumentOf: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return nullptr;
+            size_t pos = static_cast<size_t>(t.argPosition - 1);
+            if (pos < b->numOperands())
+                scratch.push_back(b->operand(pos));
+            return &scratch;
+        }
+        const Value *a = get(0);
+        if (!a)
+            return nullptr;
+        // Operand-edge adjacency: users holding {a} at the wanted
+        // position were indexed up front.
+        size_t pos = static_cast<size_t>(t.argPosition - 1);
+        return &ctx.index->usersAt(a, pos);
+      }
+      case AtomicKind::HasDataFlowTo: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return nullptr;
+            for (const Value *op : b->operands())
+                scratch.push_back(op);
+            return &scratch;
+        }
+        const Value *a = get(0);
+        if (!a)
+            return nullptr;
+        for (const Instruction *user : a->users())
+            scratch.push_back(user);
+        return &scratch;
+      }
+      case AtomicKind::HasControlFlowTo: {
+        if (var_index == 0) {
+            const Instruction *b = asInst(get(1));
+            if (!b)
+                return nullptr;
+            for (const Instruction *p :
+                 ctx.analyses->cfg().predecessors(b)) {
+                scratch.push_back(p);
+            }
+            return &scratch;
+        }
+        const Instruction *a = asInst(get(0));
+        if (!a)
+            return nullptr;
+        for (const Instruction *s : ctx.analyses->cfg().successors(a))
+            scratch.push_back(s);
+        return &scratch;
+      }
+      case AtomicKind::ReachesPhiFrom: {
+        const Instruction *phi = asInst(get(1));
+        if (var_index == 0) {
+            if (!phi || !phi->is(Opcode::Phi))
+                return nullptr;
+            const Value *branch = get(2);
+            for (size_t i = 0; i < phi->numOperands(); ++i) {
+                if (!branch ||
+                    phi->incomingBlocks()[i]->terminator() == branch) {
+                    scratch.push_back(phi->operand(i));
+                }
+            }
+            return &scratch;
+        }
+        if (var_index == 1) {
+            const Value *v = get(0);
+            if (!v)
+                return nullptr;
+            for (const Instruction *user : v->users()) {
+                if (user->is(Opcode::Phi))
+                    scratch.push_back(user);
+            }
+            return &scratch;
+        }
+        // var_index == 2: the incoming branch.
+        if (!phi || !phi->is(Opcode::Phi))
+            return nullptr;
+        const Value *v = get(0);
+        for (size_t i = 0; i < phi->numOperands(); ++i) {
+            if (!v || phi->operand(i) == v) {
+                if (const Instruction *term =
+                        phi->incomingBlocks()[i]->terminator()) {
+                    scratch.push_back(term);
+                }
+            }
+        }
+        return &scratch;
+      }
+      default:
+        return nullptr;
+    }
+}
+
+/** Expand compiled variable list @p j of @p node against @p bound. */
+std::vector<const Value *>
+expandCompiledList(const CompiledProgram &prog, const CompiledNode &node,
+                   size_t j, const SlotBindings &bound)
+{
+    std::vector<const Value *> out;
+    const CompiledList &cl =
+        prog.lists()[node.listsBegin + static_cast<uint32_t>(j)];
+    for (uint32_t i = cl.begin; i < cl.end; ++i) {
+        const ListEntry &e = prog.listEntries()[i];
+        if (!e.wildcard) {
+            if (const Value *v = bound[e.id])
+                out.push_back(v);
+            continue;
+        }
+        for (uint32_t slot : prog.wildcardRun(e.id)) {
+            const Value *v = bound[slot];
+            if (!v)
+                break;
+            out.push_back(v);
+        }
+    }
+    return out;
+}
+
 } // namespace
+
+// ------------------------------------------------- slot-indexed view
+
+bool
+evalAtomic(const CompiledProgram &prog, const CompiledNode &node,
+           const SlotBindings &bound, AtomContext &ctx)
+{
+    auto get = [&](size_t i) -> const Value * {
+        return bound[prog.varSlot(node, i)];
+    };
+    auto getList = [&](size_t j) {
+        return expandCompiledList(prog, node, j, bound);
+    };
+    return evalAtomicImpl(node.traits, get, getList, ctx);
+}
+
+const std::vector<const Value *> *
+genCandidates(const CompiledProgram &prog, const CompiledNode &node,
+              size_t var_index, const SlotBindings &bound,
+              AtomContext &ctx, std::vector<const Value *> &scratch)
+{
+    auto get = [&](size_t i) -> const Value * {
+        return bound[prog.varSlot(node, i)];
+    };
+    return genCandidatesImpl(node.traits, var_index, get, ctx, scratch);
+}
+
+// -------------------------------------------------- name-keyed view
 
 std::vector<const Value *>
 expandVarList(const std::vector<std::string> &names,
@@ -223,168 +555,10 @@ evalAtomic(const Node &node, const Bindings &bound, AtomContext &ctx)
         auto it = bound.find(node.vars[i]);
         return it == bound.end() ? nullptr : it->second;
     };
-
-    switch (node.atomic) {
-      case AtomicKind::IsIntegerType:
-        return get(0) && get(0)->type()->isInteger();
-      case AtomicKind::IsFloatType:
-        return get(0) && get(0)->type()->isFloatingPoint();
-      case AtomicKind::IsPointerType:
-        return get(0) && get(0)->type()->isPointer();
-      case AtomicKind::IsConstantZero: {
-        const Value *v = get(0);
-        if (!v || !v->isConstant())
-            return false;
-        const auto *c = static_cast<const ir::Constant *>(v);
-        if (!c->isZero())
-            return false;
-        if (node.opcodeName == "integer")
-            return c->type()->isInteger();
-        if (node.opcodeName == "float")
-            return c->type()->isFloatingPoint();
-        return c->type()->isPointer();
-      }
-      case AtomicKind::IsUnused:
-        return get(0) && get(0)->unused();
-      case AtomicKind::IsConstant:
-        return get(0) && get(0)->isConstant();
-      case AtomicKind::IsCompileTimeValue:
-        return get(0) && (get(0)->isConstant() ||
-                          get(0)->isArgument() || get(0)->isGlobal());
-      case AtomicKind::IsArgument:
-        return get(0) && get(0)->isArgument();
-      case AtomicKind::IsInstruction:
-        return get(0) && get(0)->isInstruction();
-      case AtomicKind::IsOpcode: {
-        const Instruction *inst = asInst(get(0));
-        Opcode op;
-        if (!inst || !opcodeFromName(node.opcodeName, op))
-            return false;
-        return inst->opcode() == op;
-      }
-      case AtomicKind::Same:
-        return get(0) && get(0) == get(1);
-      case AtomicKind::NotSame:
-        return get(0) && get(1) && get(0) != get(1);
-      case AtomicKind::HasDataFlowTo:
-        return get(0) && hasDataEdge(get(0), asInst(get(1)));
-      case AtomicKind::HasDataFlowPathTo:
-        return get(0) && get(1) &&
-               analysis::dataPathExists(get(0), get(1), {});
-      case AtomicKind::HasControlFlowTo: {
-        const Instruction *a = asInst(get(0));
-        const Instruction *b = asInst(get(1));
-        return a && b && hasControlEdge(ctx, a, b);
-      }
-      case AtomicKind::HasControlDominanceTo: {
-        const Instruction *a = asInst(get(0));
-        const Instruction *b = asInst(get(1));
-        return a && b && ctx.analyses->hasControlDependenceEdge(a, b);
-      }
-      case AtomicKind::HasDependenceEdgeTo: {
-        const Instruction *a = asInst(get(0));
-        const Instruction *b = asInst(get(1));
-        return a && b && ctx.analyses->hasMemoryDependenceEdge(a, b);
-      }
-      case AtomicKind::IsArgumentOf: {
-        const Instruction *b = asInst(get(1));
-        if (!b || !get(0))
-            return false;
-        size_t pos = static_cast<size_t>(node.argPosition - 1);
-        return pos < b->numOperands() && b->operand(pos) == get(0);
-      }
-      case AtomicKind::ReachesPhiFrom: {
-        const Instruction *phi = asInst(get(1));
-        const Instruction *branch = asInst(get(2));
-        const Value *v = get(0);
-        if (!phi || !branch || !v || !phi->is(Opcode::Phi))
-            return false;
-        for (size_t i = 0; i < phi->numOperands(); ++i) {
-            if (phi->operand(i) == v &&
-                phi->incomingBlocks()[i]->terminator() == branch) {
-                return true;
-            }
-        }
-        return false;
-      }
-      case AtomicKind::Dominates: {
-        const Value *a = get(0);
-        const Value *b = get(1);
-        if (!a || !b)
-            return false;
-        bool result;
-        if (node.flow == FlowKind::Data) {
-            result = dataFlowDominates(a, b);
-            if (node.strict && a == b)
-                result = false;
-        } else {
-            const Instruction *ia = asInst(a);
-            const Instruction *ib = asInst(b);
-            if (!ia || !ib)
-                return false;
-            const analysis::DomTree &tree =
-                node.postDom ? ctx.analyses->postDomTree()
-                             : ctx.analyses->domTree();
-            result = node.strict ? tree.strictlyDominates(ia, ib)
-                                 : tree.dominates(ia, ib);
-        }
-        return node.negated ? !result : result;
-      }
-      case AtomicKind::AllFlowPassesThrough: {
-        const Value *a = get(0);
-        const Value *b = get(1);
-        const Value *c = get(2);
-        if (!a || !b || !c)
-            return false;
-        if (a == c || b == c)
-            return true;
-        if (node.flow == FlowKind::Control) {
-            const Instruction *ia = asInst(a);
-            const Instruction *ib = asInst(b);
-            const Instruction *ic = asInst(c);
-            if (!ia || !ib || !ic)
-                return false;
-            return !ctx.analyses->cfg().pathExists(ia, ib, {ic});
-        }
-        if (node.flow == FlowKind::Data)
-            return !analysis::dataPathExists(a, b, {c});
-        return !analysis::anyFlowPathExists(ctx.analyses->cfg(), a, b,
-                                            {c});
-      }
-      case AtomicKind::FlowKilledBy: {
-        auto froms = expandVarList(node.varLists[0], bound);
-        auto tos = expandVarList(node.varLists[1], bound);
-        auto kills = expandVarList(node.varLists[2], bound);
-        std::set<const Value *> kill_set(kills.begin(), kills.end());
-        for (const Value *a : froms) {
-            for (const Value *b : tos) {
-                if (kill_set.count(a) || kill_set.count(b))
-                    continue;
-                bool path;
-                if (node.flow == FlowKind::Data) {
-                    path = analysis::dataPathExists(a, b, kill_set);
-                } else {
-                    path = analysis::anyFlowPathExists(
-                        ctx.analyses->cfg(), a, b, kill_set);
-                }
-                if (path)
-                    return false;
-            }
-        }
-        return true;
-      }
-      case AtomicKind::KernelClosure: {
-        const Value *out = get(0);
-        const Instruction *begin = asInst(get(1));
-        if (!out)
-            return false;
-        auto allowed_vec = expandVarList(node.varLists[0], bound);
-        std::set<const Value *> allowed(allowed_vec.begin(),
-                                        allowed_vec.end());
-        return evalKernelClosure(ctx, out, begin, allowed);
-      }
-    }
-    return false;
+    auto getList = [&](size_t j) {
+        return expandVarList(node.varLists[j], bound);
+    };
+    return evalAtomicImpl(resolveAtomicTraits(node), get, getList, ctx);
 }
 
 std::optional<std::vector<const Value *>>
@@ -395,126 +569,12 @@ genCandidates(const Node &node, size_t var_index, const Bindings &bound,
         auto it = bound.find(node.vars[i]);
         return it == bound.end() ? nullptr : it->second;
     };
-    std::vector<const Value *> out;
-
-    switch (node.atomic) {
-      case AtomicKind::IsOpcode: {
-        Opcode op;
-        if (!opcodeFromName(node.opcodeName, op))
-            return out; // unknown opcode: empty set
-        return ctx.index->opcode(op);
-      }
-      case AtomicKind::IsInstruction:
-        return ctx.index->instructions();
-      case AtomicKind::IsArgument:
-        return ctx.index->arguments();
-      case AtomicKind::IsConstant:
-        return ctx.index->constants();
-      case AtomicKind::IsConstantZero:
-        return ctx.index->zeroConstants();
-      case AtomicKind::IsCompileTimeValue:
-        return ctx.index->compileTimeValues();
-      case AtomicKind::Same: {
-        const Value *other = get(var_index == 0 ? 1 : 0);
-        if (other) {
-            out.push_back(other);
-            return out;
-        }
+    std::vector<const Value *> scratch;
+    const std::vector<const Value *> *r = genCandidatesImpl(
+        resolveAtomicTraits(node), var_index, get, ctx, scratch);
+    if (!r)
         return std::nullopt;
-      }
-      case AtomicKind::IsArgumentOf: {
-        if (var_index == 0) {
-            const Instruction *b = asInst(get(1));
-            if (!b)
-                return std::nullopt;
-            size_t pos = static_cast<size_t>(node.argPosition - 1);
-            if (pos < b->numOperands())
-                out.push_back(b->operand(pos));
-            return out;
-        }
-        const Value *a = get(0);
-        if (!a)
-            return std::nullopt;
-        // Operand-edge adjacency: users holding {a} at the wanted
-        // position were indexed up front.
-        size_t pos = static_cast<size_t>(node.argPosition - 1);
-        return ctx.index->usersAt(a, pos);
-      }
-      case AtomicKind::HasDataFlowTo: {
-        if (var_index == 0) {
-            const Instruction *b = asInst(get(1));
-            if (!b)
-                return std::nullopt;
-            for (const Value *op : b->operands())
-                out.push_back(op);
-            return out;
-        }
-        const Value *a = get(0);
-        if (!a)
-            return std::nullopt;
-        for (const Instruction *user : a->users())
-            out.push_back(user);
-        return out;
-      }
-      case AtomicKind::HasControlFlowTo: {
-        if (var_index == 0) {
-            const Instruction *b = asInst(get(1));
-            if (!b)
-                return std::nullopt;
-            for (const Instruction *p :
-                 ctx.analyses->cfg().predecessors(b)) {
-                out.push_back(p);
-            }
-            return out;
-        }
-        const Instruction *a = asInst(get(0));
-        if (!a)
-            return std::nullopt;
-        for (const Instruction *s : ctx.analyses->cfg().successors(a))
-            out.push_back(s);
-        return out;
-      }
-      case AtomicKind::ReachesPhiFrom: {
-        const Instruction *phi = asInst(get(1));
-        if (var_index == 0) {
-            if (!phi || !phi->is(Opcode::Phi))
-                return std::nullopt;
-            const Value *branch = get(2);
-            for (size_t i = 0; i < phi->numOperands(); ++i) {
-                if (!branch ||
-                    phi->incomingBlocks()[i]->terminator() == branch) {
-                    out.push_back(phi->operand(i));
-                }
-            }
-            return out;
-        }
-        if (var_index == 1) {
-            const Value *v = get(0);
-            if (!v)
-                return std::nullopt;
-            for (const Instruction *user : v->users()) {
-                if (user->is(Opcode::Phi))
-                    out.push_back(user);
-            }
-            return out;
-        }
-        // var_index == 2: the incoming branch.
-        if (!phi || !phi->is(Opcode::Phi))
-            return std::nullopt;
-        const Value *v = get(0);
-        for (size_t i = 0; i < phi->numOperands(); ++i) {
-            if (!v || phi->operand(i) == v) {
-                if (const Instruction *term =
-                        phi->incomingBlocks()[i]->terminator()) {
-                    out.push_back(term);
-                }
-            }
-        }
-        return out;
-      }
-      default:
-        return std::nullopt;
-    }
+    return *r;
 }
 
 } // namespace repro::solver

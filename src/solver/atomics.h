@@ -1,6 +1,20 @@
 /**
  * @file
  * Evaluation and candidate generation for IDL atomic constraints.
+ *
+ * Two views share one evaluation core:
+ *
+ *  - The **slot-indexed** view (CompiledProgram/CompiledNode +
+ *    SlotBindings) is the solver's hot path: variable access is a
+ *    vector index, opcode and zero-kind payloads are pre-resolved,
+ *    and list expansion walks pre-computed slot runs. Candidate
+ *    generation can return a borrowed pointer into the
+ *    CandidateIndex buckets, avoiding the per-generation copy.
+ *
+ *  - The **name-keyed** view (Node + Bindings) is retained as the
+ *    golden reference the compiled engine is cross-checked against
+ *    (tests/test_solver_compiled.cpp); it resolves names and opcode
+ *    strings on every call, exactly like the pre-compilation solver.
  */
 #ifndef SOLVER_ATOMICS_H
 #define SOLVER_ATOMICS_H
@@ -11,12 +25,16 @@
 #include <vector>
 
 #include "analysis/function_analyses.h"
+#include "solver/compiled.h"
 #include "solver/constraint.h"
 
 namespace repro::solver {
 
-/** Current partial assignment. */
+/** Current partial assignment of the reference (name-keyed) engine. */
 using Bindings = std::map<std::string, const ir::Value *>;
+
+/** Dense partial assignment: slot id -> value (nullptr = unbound). */
+using SlotBindings = std::vector<const ir::Value *>;
 
 /** Shared evaluation context for one function. */
 struct AtomContext
@@ -28,15 +46,37 @@ struct AtomContext
 };
 
 /**
- * Evaluate a fully bound atomic. All positional variables of @p node
- * must be present in @p bound; list variables are resolved against
- * @p bound with "[*]" wildcard expansion.
+ * Evaluate a fully bound compiled atomic. All positional variable
+ * slots of @p node must be bound in @p bound; list variables resolve
+ * through the program's pre-expanded slot runs.
+ */
+bool evalAtomic(const CompiledProgram &prog, const CompiledNode &node,
+                const SlotBindings &bound, AtomContext &ctx);
+
+/**
+ * Generate the candidate set for the unbound variable at position
+ * @p var_index of compiled atomic @p node. Returns nullptr when this
+ * atomic cannot generate (check-only); otherwise a pointer to either
+ * a CandidateIndex bucket (borrowed — do not hold across IR changes)
+ * or to @p scratch, which the call overwrites.
+ */
+const std::vector<const ir::Value *> *
+genCandidates(const CompiledProgram &prog, const CompiledNode &node,
+              size_t var_index, const SlotBindings &bound,
+              AtomContext &ctx,
+              std::vector<const ir::Value *> &scratch);
+
+/**
+ * Reference path: evaluate a fully bound atomic against name-keyed
+ * bindings, resolving opcode names per call. All positional variables
+ * of @p node must be present in @p bound; list variables are resolved
+ * against @p bound with "[*]" wildcard expansion.
  */
 bool evalAtomic(const Node &node, const Bindings &bound,
                 AtomContext &ctx);
 
 /**
- * Generate the candidate set for the single unbound variable at
+ * Reference path: candidate set for the single unbound variable at
  * position @p var_index of @p node, given the other variables bound.
  * Returns std::nullopt when this atomic cannot generate (check-only).
  */
@@ -51,6 +91,9 @@ bool isDeferredAtomic(const Node &node);
 std::vector<const ir::Value *>
 expandVarList(const std::vector<std::string> &names,
               const Bindings &bound);
+
+/** Resolve a lowered atomic's payload (opcode, zero kind, flags). */
+AtomicTraits resolveAtomicTraits(const Node &node);
 
 } // namespace repro::solver
 

@@ -1,6 +1,8 @@
 #include "solver/solver.h"
 
 #include <algorithm>
+#include <deque>
+#include <memory>
 #include <sstream>
 
 #include "solver/atomics.h"
@@ -8,7 +10,6 @@
 
 namespace repro::solver {
 
-using ir::Instruction;
 using ir::Value;
 
 std::vector<const Value *>
@@ -21,14 +22,21 @@ Solution::lookupArray(const std::string &pattern) const
             out.push_back(v);
         return out;
     }
+    // One reused key buffer: the prefix is written once, only the
+    // index digits and the suffix are rewritten per probe, and the
+    // loop exits on the first gap after building that key once.
+    std::string key(pattern, 0, star);
+    key += '[';
+    const size_t digits_at = key.size();
     for (int k = 0;; ++k) {
-        std::string name = pattern.substr(0, star) + "[" +
-                           std::to_string(k) + "]" +
-                           pattern.substr(star + 3);
-        const Value *v = lookup(name);
-        if (!v)
+        key.resize(digits_at);
+        key += std::to_string(k);
+        key += ']';
+        key.append(pattern, star + 3, std::string::npos);
+        auto it = bindings.find(key);
+        if (it == bindings.end())
             break;
-        out.push_back(v);
+        out.push_back(it->second);
     }
     return out;
 }
@@ -88,13 +96,515 @@ Node::str(int indent) const
 
 namespace {
 
-/** The recursive search over goals. */
-class SearchState
+/**
+ * The compiled search: recursive backtracking over a slot-addressed
+ * CompiledProgram.
+ *
+ * State layout (the whole point of the compilation step):
+ *  - `slots` is the dense partial assignment — binding is one vector
+ *    store plus counter updates, no string hashing;
+ *  - `unbound_` holds one per-atomic counter of unbound positional
+ *    variables, maintained through the program's slot-use CSR, so
+ *    readiness is an integer compare instead of a bindings scan;
+ *  - the goal list is a ring of node ids over `buf_` between `head_`
+ *    and `tail_`: And splices its children in front (O(children)),
+ *    Or substitutes in place (O(1)), rotation moves the head to the
+ *    tail (O(1)) — where the interpreted engine copied the whole
+ *    goal vector for each of these;
+ *  - collect-added bindings go through `trail_` and are unwound after
+ *    emission.
+ *
+ * Every frame undoes its schedule edits with relative arithmetic on
+ * exit (never with saved absolute indices), which keeps reallocation
+ * of `buf_` transparent to the frames above.
+ *
+ * Traversal order replicates the reference engine exactly: the same
+ * goals are tried in the same order with the same candidate sets, so
+ * SolveStats and the emitted solution sets are byte-identical.
+ */
+class CompiledSearch
 {
   public:
-    SearchState(AtomContext ctx, SolveStats &stats,
-                const SolverLimits &limits,
-                std::vector<Solution> &results)
+    CompiledSearch(const CompiledProgram &prog, AtomContext ctx,
+                   SolveStats &stats, const SolverLimits &limits,
+                   std::vector<SlotBindings> &results)
+        : prog_(prog), ctx_(ctx), stats_(stats), limits_(limits),
+          results_(results)
+    {}
+
+    /** Dense bindings; pre-seed before run() for collect sub-search. */
+    SlotBindings slots;
+
+    void
+    run(uint32_t root)
+    {
+        // Reusable across runs (the collect sub-search pool below):
+        // only first-run state is allocated, stale dedup stamps are
+        // neutralized by the monotonic epoch, and the goal ring keeps
+        // whatever capacity earlier runs grew.
+        if (slots.empty())
+            slots.assign(prog_.numSlots(), nullptr);
+        initUnbound();
+        size_t universe = ctx_.index->universe().size();
+        if (seen_.size() != universe) {
+            seen_.assign(universe, 0);
+            epoch_ = 0;
+        }
+        if (buf_.empty())
+            buf_.assign(64, 0);
+        head_ = tail_ = buf_.size() / 2;
+        buf_[tail_++] = root;
+        emitted_.clear();
+        // A budget throw unwinds past the push/pop pairs of a prior
+        // run; drop any such leftovers or a reused sub-search would
+        // evaluate phantom deferred goals and collects.
+        collects_.clear();
+        deferred_.clear();
+        trail_.clear();
+        depth_ = 0;
+        try {
+            search(0);
+        } catch (const FatalError &) {
+            // Budget exceeded: return the solutions found so far.
+        }
+    }
+
+  private:
+    void
+    budgetCheck()
+    {
+        if (++stats_.assignments > limits_.maxAssignments)
+            throw FatalError("solver budget exceeded");
+    }
+
+    void
+    bind(uint32_t slot, const Value *v)
+    {
+        if (!slots[slot]) {
+            for (const uint32_t *n = prog_.slotUsesBegin(slot),
+                                *e = prog_.slotUsesEnd(slot);
+                 n != e; ++n) {
+                --unbound_[*n];
+            }
+        }
+        slots[slot] = v;
+    }
+
+    void
+    unbind(uint32_t slot)
+    {
+        if (!slots[slot])
+            return; // already erased by a collect overwrite
+        slots[slot] = nullptr;
+        for (const uint32_t *n = prog_.slotUsesBegin(slot),
+                            *e = prog_.slotUsesEnd(slot);
+             n != e; ++n) {
+            ++unbound_[*n];
+        }
+    }
+
+    void
+    initUnbound()
+    {
+        unbound_.assign(prog_.numNodes(), 0);
+        for (uint32_t id = 0; id < prog_.numNodes(); ++id) {
+            const CompiledNode &n = prog_.node(id);
+            if (n.kind != Node::Kind::Atomic)
+                continue;
+            uint32_t c = 0;
+            for (size_t i = 0; i < n.numVars(); ++i) {
+                if (!slots[prog_.varSlot(n, i)])
+                    ++c;
+            }
+            unbound_[id] = c;
+        }
+    }
+
+    /** Make room for @p need goal cells in front of head_. */
+    void
+    ensureFront(size_t need)
+    {
+        if (head_ >= need)
+            return;
+        size_t live = tail_ - head_;
+        size_t newSize = std::max(buf_.size() * 2, live + need + 64);
+        std::vector<uint32_t> grown(newSize);
+        size_t newHead = need + (newSize - live - need) / 2;
+        std::copy(buf_.begin() + static_cast<ptrdiff_t>(head_),
+                  buf_.begin() + static_cast<ptrdiff_t>(tail_),
+                  grown.begin() + static_cast<ptrdiff_t>(newHead));
+        buf_.swap(grown);
+        head_ = newHead;
+        tail_ = newHead + live;
+    }
+
+    void
+    ensureBack()
+    {
+        if (tail_ == buf_.size())
+            buf_.resize(buf_.size() * 2);
+    }
+
+    /** Pooled per-depth buffer (stable under deeper recursion). */
+    std::vector<const Value *> &
+    uniqueAt(size_t depth)
+    {
+        while (uniquePool_.size() <= depth)
+            uniquePool_.emplace_back();
+        std::vector<const Value *> &v = uniquePool_[depth];
+        v.clear();
+        return v;
+    }
+
+    void
+    search(int rotations)
+    {
+        if (results_.size() >= limits_.maxSolutions)
+            return;
+        if (head_ == tail_) {
+            finalize();
+            return;
+        }
+        ++depth_;
+        searchGoal(rotations);
+        --depth_;
+    }
+
+    void
+    searchGoal(int rotations)
+    {
+        const uint32_t gid = buf_[head_];
+        const CompiledNode &g = prog_.node(gid);
+        switch (g.kind) {
+          case Node::Kind::And: {
+            size_t k = g.numChildren();
+            if (k > 0) {
+                ensureFront(k - 1);
+                head_ -= k - 1;
+                const std::vector<uint32_t> &kids = prog_.childIds();
+                for (size_t i = 0; i < k; ++i)
+                    buf_[head_ + i] = kids[g.childBegin + i];
+                search(0);
+                head_ += k - 1;
+            } else {
+                ++head_;
+                search(0);
+                --head_;
+            }
+            buf_[head_] = gid;
+            return;
+          }
+          case Node::Kind::Or: {
+            for (uint32_t i = g.childBegin; i < g.childEnd; ++i) {
+                buf_[head_] = prog_.childIds()[i];
+                search(0);
+                if (results_.size() >= limits_.maxSolutions)
+                    break;
+            }
+            buf_[head_] = gid;
+            return;
+          }
+          case Node::Kind::Collect: {
+            collects_.push_back(gid);
+            ++head_;
+            search(0);
+            --head_;
+            buf_[head_] = gid;
+            collects_.pop_back();
+            return;
+          }
+          case Node::Kind::Atomic:
+            break;
+        }
+
+        if (g.deferred) {
+            deferred_.push_back(gid);
+            ++head_;
+            search(0);
+            --head_;
+            buf_[head_] = gid;
+            deferred_.pop_back();
+            return;
+        }
+
+        // Readiness is one counter load — the unbound positions are
+        // only enumerated when a generator is actually needed.
+        if (unbound_[gid] == 0) {
+            ++stats_.checks;
+            if (evalAtomic(prog_, g, slots, ctx_)) {
+                ++head_;
+                search(0);
+                --head_;
+                buf_[head_] = gid;
+            }
+            return;
+        }
+
+        // Try to generate candidates for one of the unassigned
+        // variables; generators tolerate other variables still being
+        // free (the goal is revisited after each assignment).
+        for (size_t i = 0; i < g.numVars(); ++i) {
+            uint32_t slot = prog_.varSlot(g, i);
+            if (slots[slot])
+                continue;
+            const std::vector<const Value *> *candidates =
+                genCandidates(prog_, g, i, slots, ctx_, scratch_);
+            if (candidates) {
+                tryCandidates(gid, g, slot, *candidates);
+                return;
+            }
+        }
+
+        // Not ready: rotate this goal to the back. If every remaining
+        // goal is equally stuck, defer it — its variables can only be
+        // bound by collects (library idioms introduce every regular
+        // variable through a generating atomic).
+        if (rotations < static_cast<int>(tail_ - head_)) {
+            ++stats_.rotations;
+            ensureBack();
+            buf_[tail_++] = gid;
+            ++head_;
+            search(rotations + 1);
+            --head_;
+            --tail_;
+            buf_[head_] = gid;
+            return;
+        }
+        deferred_.push_back(gid);
+        ++head_;
+        search(0);
+        --head_;
+        buf_[head_] = gid;
+        deferred_.pop_back();
+    }
+
+    void
+    tryCandidates(uint32_t gid, const CompiledNode &g, uint32_t slot,
+                  const std::vector<const Value *> &candidates)
+    {
+        // Deduplicate up front with epoch stamps on the universe
+        // positions — no per-candidate tree allocation, and the
+        // stamps need not survive the recursion below.
+        std::vector<const Value *> &unique = uniqueAt(depth_);
+        if (++epoch_ == 0) {
+            std::fill(seen_.begin(), seen_.end(), 0u);
+            epoch_ = 1;
+        }
+        for (const Value *c : candidates) {
+            if (!c)
+                continue;
+            uint32_t vi = ctx_.index->indexOf(c);
+            if (vi != analysis::CandidateIndex::npos) {
+                if (seen_[vi] == epoch_) {
+                    ++stats_.dedupHits;
+                    continue;
+                }
+                seen_[vi] = epoch_;
+            } else {
+                // Candidates outside the universe (none on library
+                // paths): linear fallback keeps semantics exact.
+                if (std::find(outside_.begin(), outside_.end(), c) !=
+                    outside_.end()) {
+                    ++stats_.dedupHits;
+                    continue;
+                }
+                outside_.push_back(c);
+            }
+            unique.push_back(c);
+        }
+        outside_.clear();
+
+        for (const Value *c : unique) {
+            budgetCheck();
+            bind(slot, c);
+            ++stats_.checks;
+            bool unassigned_left = unbound_[gid] > 0;
+            bool ok = true;
+            if (!unassigned_left)
+                ok = evalAtomic(prog_, g, slots, ctx_);
+            if (ok) {
+                if (unassigned_left) {
+                    // Still unbound variables: revisit this goal.
+                    search(0);
+                } else {
+                    ++head_;
+                    search(0);
+                    --head_;
+                    buf_[head_] = gid;
+                }
+            }
+            unbind(slot);
+            if (results_.size() >= limits_.maxSolutions)
+                return;
+        }
+    }
+
+    void
+    finalize()
+    {
+        size_t mark = trail_.size();
+        bool ok = runCollects(0);
+        if (ok) {
+            for (uint32_t d : deferred_) {
+                ++stats_.checks;
+                if (!evalAtomic(prog_, prog_.node(d), slots, ctx_)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                emit();
+        }
+        while (trail_.size() > mark) {
+            unbind(trail_.back());
+            trail_.pop_back();
+        }
+    }
+
+    /**
+     * Instantiate collect @p ci: enumerate all solutions of the body
+     * (whose variable slots carry the "[#]" marker) and bind them as
+     * indexed arrays through the pre-computed template expansions.
+     * Returns false if any collect yields zero solutions — which
+     * cannot happen here (an empty collect binds an empty array), but
+     * the signature mirrors the reference engine. Defined after
+     * SubSearch (it embeds one search per collect node).
+     */
+    bool runCollects(size_t ci);
+
+    void
+    emit()
+    {
+        // Dedup identical assignments arising from overlapping
+        // disjunction branches. Walking the name-ordered slots makes
+        // the key byte-identical to the reference engine's
+        // map-iteration key.
+        std::ostringstream key;
+        for (uint32_t s : prog_.orderedSlots()) {
+            if (const Value *v = slots[s])
+                key << prog_.slotName(s) << "=" << v << ";";
+        }
+        if (!emitted_.insert(key.str()).second)
+            return;
+        ++stats_.solutions;
+        results_.push_back(slots);
+    }
+
+    /** One pooled collect sub-search: its limits and result storage
+     *  must outlive the CompiledSearch that references them. Defined
+     *  after this class (it embeds one). */
+    struct SubSearch;
+
+    const CompiledProgram &prog_;
+    AtomContext ctx_;
+    SolveStats &stats_;
+    const SolverLimits &limits_;
+    std::vector<SlotBindings> &results_;
+    /** Collect sub-searches, keyed by collect node id. */
+    std::map<uint32_t, std::unique_ptr<SubSearch>> subPool_;
+
+    // Goal schedule ring: live goals are buf_[head_, tail_).
+    std::vector<uint32_t> buf_;
+    size_t head_ = 0, tail_ = 0;
+
+    std::vector<uint32_t> unbound_;  ///< per-node unbound-var counters
+    std::vector<uint32_t> collects_; ///< collect node ids on the path
+    std::vector<uint32_t> deferred_; ///< deferred atomic node ids
+    std::vector<uint32_t> trail_;    ///< collect-bound slots to unwind
+
+    // Candidate dedup: epoch stamps per universe position.
+    std::vector<uint32_t> seen_;
+    uint32_t epoch_ = 0;
+    std::vector<const Value *> outside_;
+
+    // Reused buffers: one scratch for generation (drained before any
+    // recursion) and one deduped list per depth (lives across it).
+    std::vector<const Value *> scratch_;
+    std::deque<std::vector<const Value *>> uniquePool_;
+    size_t depth_ = 0;
+
+    std::set<std::string> emitted_;
+};
+
+struct CompiledSearch::SubSearch
+{
+    SolverLimits limits;
+    std::vector<SlotBindings> results;
+    CompiledSearch search;
+
+    SubSearch(const CompiledProgram &prog, AtomContext ctx,
+              SolveStats &stats, const SolverLimits &l)
+        : limits(l), search(prog, ctx, stats, limits, results)
+    {}
+};
+
+bool
+CompiledSearch::runCollects(size_t ci)
+{
+    if (ci == collects_.size())
+        return true;
+    const uint32_t colId = collects_[ci];
+    const CompiledNode &col = prog_.node(colId);
+
+    // Solve the body in a search over the same bindings — seeding is
+    // one dense vector copy. The search object is pooled per collect
+    // node: finalize() runs once per candidate leaf, so a fresh
+    // sub-search here would redo universe-sized allocation and
+    // zeroing on the hot path.
+    auto &slot = subPool_[colId];
+    if (!slot) {
+        SolverLimits sublimits;
+        sublimits.maxSolutions = static_cast<size_t>(col.collectMax);
+        sublimits.maxAssignments = limits_.maxAssignments;
+        slot = std::make_unique<SubSearch>(prog_, ctx_, stats_,
+                                           sublimits);
+    }
+    SubSearch &sub = *slot;
+    sub.results.clear();
+    sub.search.slots = slots;
+    sub.search.run(col.body);
+
+    // Dedup by the '#'-marked template slots only.
+    std::set<std::string> seen;
+    int k = 0;
+    for (const SlotBindings &s : sub.results) {
+        std::ostringstream key;
+        std::vector<std::pair<uint32_t, const Value *>> fresh;
+        for (uint32_t ts : prog_.templateSlotsByName()) {
+            const Value *v = s[ts];
+            if (!v)
+                continue;
+            key << prog_.slotName(ts) << "=" << v << ";";
+            fresh.emplace_back(ts, v);
+        }
+        if (fresh.empty() || !seen.insert(key.str()).second)
+            continue;
+        for (const auto &[ts, v] : fresh) {
+            uint32_t indexed = prog_.expandedSlot(ts, k);
+            bind(indexed, v);
+            trail_.push_back(indexed);
+        }
+        ++k;
+        if (k >= col.collectMax)
+            break;
+    }
+    // An empty collect binds an empty array; idioms that need at
+    // least one element say so through constraints on element 0.
+    return runCollects(ci + 1);
+}
+
+/**
+ * The pre-compilation engine: the recursive search over goals with
+ * name-keyed bindings and copied goal vectors. Golden reference for
+ * CompiledSearch — do not "optimize" this; its value is that it
+ * computes the answer the slow, obvious way.
+ */
+class ReferenceSearch
+{
+  public:
+    ReferenceSearch(AtomContext ctx, SolveStats &stats,
+                    const SolverLimits &limits,
+                    std::vector<Solution> &results)
         : ctx_(ctx), stats_(stats), limits_(limits), results_(results)
     {}
 
@@ -198,8 +708,9 @@ class SearchState
         // bound by collects (library idioms introduce every regular
         // variable through a generating atomic).
         if (rotations < static_cast<int>(goals.size() - idx)) {
+            ++stats_.rotations;
             std::vector<const Node *> next = goals;
-            next.erase(next.begin() + idx);
+            next.erase(next.begin() + static_cast<ptrdiff_t>(idx));
             next.push_back(g);
             search(next, idx, rotations + 1);
             return;
@@ -214,10 +725,20 @@ class SearchState
                   const Node *g, const std::string &var,
                   const std::vector<const Value *> &candidates)
     {
+        // Same shape as the compiled engine: dedup first, then try —
+        // so the dedupHits counts match it exactly.
         std::set<const Value *> seen;
+        std::vector<const Value *> unique;
         for (const Value *c : candidates) {
-            if (!c || !seen.insert(c).second)
+            if (!c)
                 continue;
+            if (!seen.insert(c).second) {
+                ++stats_.dedupHits;
+                continue;
+            }
+            unique.push_back(c);
+        }
+        for (const Value *c : unique) {
             budgetCheck();
             bindings[var] = c;
             ++stats_.checks;
@@ -286,7 +807,7 @@ class SearchState
         sublimits.maxSolutions =
             static_cast<size_t>(col->collectMax);
         sublimits.maxAssignments = limits_.maxAssignments;
-        SearchState sub(ctx_, stats_, sublimits, subresults);
+        ReferenceSearch sub(ctx_, stats_, sublimits, subresults);
         sub.bindings = bindings;
         sub.run(col->collectBody.get());
 
@@ -361,15 +882,54 @@ Solver::Solver(ir::Function *func, analysis::FunctionAnalyses &analyses)
 }
 
 std::vector<Solution>
+Solver::solveAll(const CompiledProgram &program,
+                 const SolverLimits &limits)
+{
+    AtomContext ctx;
+    ctx.func = func_;
+    ctx.analyses = &analyses_;
+    ctx.index = &index_;
+
+    std::vector<SlotBindings> snapshots;
+    CompiledSearch state(program, ctx, stats_, limits, snapshots);
+    state.run(program.root());
+
+    // Materialize the name-keyed Solutions the rest of the pipeline
+    // consumes. orderedSlots() is lexicographic, so the hinted
+    // insertions build each map in O(bindings).
+    std::vector<Solution> results;
+    results.reserve(snapshots.size());
+    for (const SlotBindings &snap : snapshots) {
+        Solution s;
+        for (uint32_t slot : program.orderedSlots()) {
+            if (const Value *v = snap[slot]) {
+                s.bindings.emplace_hint(s.bindings.end(),
+                                        program.slotName(slot), v);
+            }
+        }
+        results.push_back(std::move(s));
+    }
+    return results;
+}
+
+std::vector<Solution>
 Solver::solveAll(const ConstraintProgram &program,
                  const SolverLimits &limits)
+{
+    CompiledProgram compiled(program);
+    return solveAll(compiled, limits);
+}
+
+std::vector<Solution>
+Solver::solveAllReference(const ConstraintProgram &program,
+                          const SolverLimits &limits)
 {
     std::vector<Solution> results;
     AtomContext ctx;
     ctx.func = func_;
     ctx.analyses = &analyses_;
     ctx.index = &index_;
-    SearchState state(ctx, stats_, limits, results);
+    ReferenceSearch state(ctx, stats_, limits, results);
     state.run(program.root.get());
     return results;
 }

@@ -8,6 +8,19 @@
  * formula. Candidate generation exploits the structure of atomics
  * (operand edges, opcode indices, phi incomings) so the search space
  * is pruned aggressively.
+ *
+ * The search runs on the slot-addressed CompiledProgram form
+ * (solver/compiled.h): bindings are a flat vector indexed by interned
+ * variable slots, atomic readiness is tracked by per-node unbound
+ * counters, and the goal list is an index schedule over the node
+ * arrays — no strings, maps or goal-vector copies on the hot path.
+ * Name-keyed Solution objects are materialized only when a search
+ * finishes, so every downstream consumer (transform, binder, benches)
+ * keeps its API. The pre-compilation engine survives as
+ * solveAllReference(), the golden reference the compiled engine is
+ * cross-checked against (search order, solution sets and SolveStats
+ * are byte-identical by construction — see
+ * tests/test_solver_compiled.cpp).
  */
 #ifndef SOLVER_SOLVER_H
 #define SOLVER_SOLVER_H
@@ -19,6 +32,7 @@
 #include <vector>
 
 #include "analysis/function_analyses.h"
+#include "solver/compiled.h"
 #include "solver/constraint.h"
 
 namespace repro::solver {
@@ -35,7 +49,12 @@ struct Solution
         return it == bindings.end() ? nullptr : it->second;
     }
 
-    /** All bindings whose name matches prefix "p[k]suffix" pattern. */
+    /**
+     * All bindings whose name matches prefix "p[k]suffix" pattern,
+     * probing k = 0, 1, ... until the first gap. One key buffer is
+     * reused across probes (no per-index string assembly beyond the
+     * index digits), and the failing key is built exactly once.
+     */
     std::vector<const ir::Value *>
     lookupArray(const std::string &pattern) const;
 
@@ -48,6 +67,8 @@ struct SolveStats
     uint64_t assignments = 0; ///< variable assignments tried
     uint64_t checks = 0;      ///< atomic evaluations
     uint64_t solutions = 0;
+    uint64_t rotations = 0;   ///< stuck goals moved to the back
+    uint64_t dedupHits = 0;   ///< duplicate candidates skipped
 
     SolveStats &
     operator+=(const SolveStats &other)
@@ -55,6 +76,8 @@ struct SolveStats
         assignments += other.assignments;
         checks += other.checks;
         solutions += other.solutions;
+        rotations += other.rotations;
+        dedupHits += other.dedupHits;
         return *this;
     }
 };
@@ -76,21 +99,42 @@ struct SolverLimits
  * construction assigns the function's argument/instruction ids;
  * nothing module-shared is written), so functions of one module can
  * be solved concurrently as long as each function's FunctionAnalyses
- * is owned by a single thread.
+ * is owned by a single thread. The CompiledProgram is immutable and
+ * may be shared across those threads (idioms::compiledIdiomOrNull).
  */
 class Solver
 {
   public:
     Solver(ir::Function *func, analysis::FunctionAnalyses &analyses);
 
-    /** Enumerate all solutions of @p program. */
+    /**
+     * Enumerate all solutions of the pre-compiled @p program — the
+     * hot path every cached library idiom takes.
+     */
+    std::vector<Solution> solveAll(const CompiledProgram &program,
+                                   const SolverLimits &limits = {});
+
+    /**
+     * Enumerate all solutions of @p program, compiling it first.
+     * Convenience for one-off programs (custom idioms, ablations that
+     * perturb the lowered tree before solving).
+     */
     std::vector<Solution> solveAll(const ConstraintProgram &program,
                                    const SolverLimits &limits = {});
+
+    /**
+     * The pre-compilation engine: name-keyed bindings, goal-vector
+     * copies, per-call opcode resolution. Kept as the golden
+     * reference for the compiled engine — solution strings and
+     * SolveStats must match solveAll() byte for byte on any program.
+     */
+    std::vector<Solution>
+    solveAllReference(const ConstraintProgram &program,
+                      const SolverLimits &limits = {});
 
     const SolveStats &stats() const { return stats_; }
 
   private:
-    friend class SearchState;
     ir::Function *func_;
     analysis::FunctionAnalyses &analyses_;
     const analysis::CandidateIndex &index_;

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Golden cross-check of the slot-addressed solver (solver/compiled.h)
+ * against the retained pre-compilation reference engine
+ * (Solver::solveAllReference), plus unit tests for symbol interning
+ * and collect-template expansion.
+ *
+ * The contract under test is strict: on every Table 1 suite program,
+ * every cached idiom, and both ablation orderings, the compiled
+ * engine must produce byte-identical solution strings in the same
+ * order and identical SolveStats (assignments, checks, solutions,
+ * rotations, dedupHits). This is what makes the compilation step a
+ * pure performance transformation with a mechanical correctness
+ * argument.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchmarks/suite.h"
+#include "frontend/compiler.h"
+#include "idioms/library.h"
+#include "idl/lower.h"
+#include "idl/parser.h"
+#include "solver/compiled.h"
+#include "solver/solver.h"
+
+using namespace repro;
+
+namespace {
+
+// ------------------------------------------------------ symbol table
+
+TEST(SymbolTable, InternsDenseAndDeduplicates)
+{
+    solver::SymbolTable syms;
+    EXPECT_EQ(syms.intern("a"), 0u);
+    EXPECT_EQ(syms.intern("b.c"), 1u);
+    EXPECT_EQ(syms.intern("a"), 0u);
+    EXPECT_EQ(syms.intern("b.c[0]"), 2u);
+    EXPECT_EQ(syms.size(), 3u);
+    EXPECT_EQ(syms.name(1), "b.c");
+    EXPECT_EQ(syms.lookup("b.c[0]"), 2u);
+    EXPECT_EQ(syms.lookup("missing"), solver::SymbolTable::kNoSlot);
+}
+
+// ------------------------------------------- compiled program layout
+
+TEST(CompiledProgram, CollectTemplatesExpandToIndexedSlots)
+{
+    const solver::ConstraintProgram *lowered =
+        idioms::loweredIdiomOrNull("Reduction");
+    ASSERT_NE(lowered, nullptr);
+    solver::CompiledProgram prog(*lowered);
+
+    // The collect body binds "read_value[#]"; its expansions must be
+    // pre-interned, one slot per index below the collect bound.
+    uint32_t tmpl = prog.symbols().lookup("read_value[#]");
+    ASSERT_NE(tmpl, solver::SymbolTable::kNoSlot);
+    ASSERT_TRUE(prog.isTemplateSlot(tmpl));
+    ASSERT_GE(prog.maxCollect(), 1);
+    for (int k = 0; k < prog.maxCollect(); ++k) {
+        uint32_t slot = prog.expandedSlot(tmpl, k);
+        EXPECT_EQ(prog.slotName(slot),
+                  "read_value[" + std::to_string(k) + "]");
+    }
+
+    // The "[*]" wildcard list entry of the kernel-closure atomic must
+    // resolve to the same slots the template expansion created.
+    bool found_wildcard = false;
+    for (uint32_t id = 0; id < prog.numNodes(); ++id) {
+        const solver::CompiledNode &n = prog.node(id);
+        if (n.kind != solver::Node::Kind::Atomic)
+            continue;
+        for (uint32_t li = n.listsBegin; li < n.listsEnd; ++li) {
+            const solver::CompiledList &cl = prog.lists()[li];
+            for (uint32_t e = cl.begin; e < cl.end; ++e) {
+                const solver::ListEntry &entry =
+                    prog.listEntries()[e];
+                if (!entry.wildcard)
+                    continue;
+                found_wildcard = true;
+                const auto &run = prog.wildcardRun(entry.id);
+                ASSERT_GE(run.size(),
+                          static_cast<size_t>(prog.maxCollect()));
+                EXPECT_EQ(run[0], prog.expandedSlot(tmpl, 0));
+            }
+        }
+    }
+    EXPECT_TRUE(found_wildcard);
+
+    // Template slots are listed in lexicographic name order (the
+    // collect dedup key order), and orderedSlots covers every slot.
+    const auto &tmpls = prog.templateSlotsByName();
+    EXPECT_TRUE(std::is_sorted(
+        tmpls.begin(), tmpls.end(), [&](uint32_t a, uint32_t b) {
+            return prog.slotName(a) < prog.slotName(b);
+        }));
+    EXPECT_EQ(prog.orderedSlots().size(), prog.numSlots());
+}
+
+TEST(CompiledProgram, ExplicitIndexSharesSlotWithTemplateExpansion)
+{
+    // Stencil1D names "read[0].base_pointer" directly in an atomic
+    // while the collect body binds "read[#].base_pointer" — the
+    // expansion at k=0 must land on the very same slot, or the
+    // deferred NotSame check would never see the collected binding.
+    const solver::CompiledProgram *prog =
+        idioms::compiledIdiomOrNull("Stencil1D");
+    ASSERT_NE(prog, nullptr);
+    uint32_t direct = prog->symbols().lookup("read[0].base_pointer");
+    uint32_t tmpl = prog->symbols().lookup("read[#].base_pointer");
+    ASSERT_NE(direct, solver::SymbolTable::kNoSlot);
+    ASSERT_NE(tmpl, solver::SymbolTable::kNoSlot);
+    EXPECT_EQ(prog->expandedSlot(tmpl, 0), direct);
+}
+
+// --------------------------------------------------- golden equality
+
+std::vector<std::string>
+solutionStrings(const std::vector<solver::Solution> &sols)
+{
+    std::vector<std::string> out;
+    out.reserve(sols.size());
+    for (const auto &s : sols)
+        out.push_back(s.str());
+    return out;
+}
+
+void
+expectStatsEqual(const solver::SolveStats &a,
+                 const solver::SolveStats &b, const std::string &what)
+{
+    EXPECT_EQ(a.assignments, b.assignments) << what;
+    EXPECT_EQ(a.checks, b.checks) << what;
+    EXPECT_EQ(a.solutions, b.solutions) << what;
+    EXPECT_EQ(a.rotations, b.rotations) << what;
+    EXPECT_EQ(a.dedupHits, b.dedupHits) << what;
+}
+
+/** Idioms the golden sweep checks: the cached set. */
+std::vector<std::string>
+goldenIdioms()
+{
+    auto idioms = idioms::topLevelIdioms();
+    idioms.push_back("FactorizationOpportunity");
+    return idioms;
+}
+
+/**
+ * Solve @p program compiled and via the reference engine against
+ * every defined function of @p module and require byte-identical
+ * solution strings and SolveStats. Returns the compiled engine's
+ * accumulated effort (so callers can assert non-vacuity without
+ * re-running the sweep).
+ */
+solver::SolveStats
+crossCheck(ir::Module &module, const solver::ConstraintProgram &lowered,
+           const std::string &what,
+           const solver::SolverLimits &limits = {})
+{
+    solver::CompiledProgram compiled(lowered);
+    solver::SolveStats total;
+    for (const auto &f : module.functions()) {
+        if (f->isDeclaration())
+            continue;
+        analysis::FunctionAnalyses fa(f.get());
+
+        solver::Solver fast(f.get(), fa);
+        auto fastSols = fast.solveAll(compiled, limits);
+        solver::Solver ref(f.get(), fa);
+        auto refSols = ref.solveAllReference(lowered, limits);
+
+        const std::string ctx = what + " @ " + f->name();
+        EXPECT_EQ(solutionStrings(fastSols), solutionStrings(refSols))
+            << ctx;
+        expectStatsEqual(fast.stats(), ref.stats(), ctx);
+        total += fast.stats();
+    }
+    return total;
+}
+
+TEST(CompiledSolverGolden, Table1SuiteAllIdioms)
+{
+    solver::SolveStats total;
+    for (const auto &b : benchmarks::nasParboilSuite()) {
+        ir::Module module;
+        frontend::compileMiniCOrDie(b.source, module);
+        for (const auto &idiom : goldenIdioms()) {
+            const solver::ConstraintProgram *lowered =
+                idioms::loweredIdiomOrNull(idiom);
+            ASSERT_NE(lowered, nullptr) << idiom;
+            total +=
+                crossCheck(module, *lowered, b.name + "/" + idiom);
+        }
+    }
+    // The sweep must have exercised a real search, not vacuous
+    // early exits.
+    EXPECT_GT(total.assignments, 0u);
+    EXPECT_GT(total.checks, 0u);
+    EXPECT_GT(total.solutions, 0u);
+}
+
+TEST(CompiledSolverGolden, BudgetExhaustionParity)
+{
+    // A blown assignment budget unwinds collect sub-searches
+    // mid-flight; the pooled sub-search must shed that state and keep
+    // tracking the reference engine (which builds a fresh search per
+    // collect) both during and after the abort.
+    for (uint64_t budget : {200u, 2000u, 20000u}) {
+        solver::SolverLimits limits;
+        limits.maxAssignments = budget;
+        for (const char *bench : {"LU", "MG"}) {
+            const auto &b = benchmarks::benchmarkByName(bench);
+            ir::Module module;
+            frontend::compileMiniCOrDie(b.source, module);
+            for (const char *idiom : {"Reduction", "Stencil3D"}) {
+                crossCheck(module,
+                           *idioms::loweredIdiomOrNull(idiom),
+                           std::string(bench) + "/" + idiom +
+                               "/budget=" + std::to_string(budget),
+                           limits);
+            }
+        }
+    }
+}
+
+TEST(CompiledSolverGolden, DuplicateCandidatesCountAsDedupHits)
+{
+    // t+t presents the operand t twice to the HasDataFlowTo
+    // generator; both engines must skip the duplicate, count it, and
+    // still agree byte for byte.
+    ir::Module module;
+    frontend::compileMiniCOrDie(
+        "int f(int a) { int t = a * a; return t + t; }", module);
+
+    idl::IdlProgram program;
+    DiagEngine diags;
+    idl::parseIdlInto("Constraint Dup\n"
+                      "( {s} is add instruction and\n"
+                      "  {x} has data flow to {s} and\n"
+                      "  {x} is mul instruction )\n"
+                      "End",
+                      program, diags);
+    ASSERT_FALSE(diags.hasErrors()) << diags.dump();
+    auto lowered = idl::lowerIdiom(program, "Dup");
+
+    crossCheck(module, lowered, "Dup");
+
+    ir::Function *func = module.functionByName("f");
+    ASSERT_NE(func, nullptr);
+    analysis::FunctionAnalyses fa(func);
+    solver::Solver s(func, fa);
+    auto sols = s.solveAll(lowered);
+    EXPECT_EQ(sols.size(), 1u);
+    EXPECT_GT(s.stats().dedupHits, 0u);
+}
+
+namespace {
+
+void
+reverseConjunctions(solver::Node &node)
+{
+    if (node.kind == solver::Node::Kind::And ||
+        node.kind == solver::Node::Kind::Or) {
+        std::reverse(node.children.begin(), node.children.end());
+    }
+    for (auto &child : node.children)
+        reverseConjunctions(*child);
+    if (node.collectBody)
+        reverseConjunctions(*node.collectBody);
+}
+
+} // namespace
+
+TEST(CompiledSolverGolden, AblationOrderings)
+{
+    // The ordering ablation (bench_ablation_ordering) perturbs the
+    // lowered tree before solving; the compiled engine must track the
+    // reference on the hostile ordering too — including the rotation
+    // counts the reversal provokes.
+    struct Case
+    {
+        const char *bench;
+        const char *idiom;
+    };
+    solver::SolveStats reversedTotal;
+    for (const Case &c : {Case{"CG", "SPMV"}, Case{"sgemm", "GEMM"},
+                          Case{"MG", "Stencil3D"},
+                          Case{"LU", "Reduction"}}) {
+        const auto &b = benchmarks::benchmarkByName(c.bench);
+        ir::Module module;
+        frontend::compileMiniCOrDie(b.source, module);
+
+        auto ordered = idl::lowerIdiom(idioms::idiomLibrary(), c.idiom);
+        crossCheck(module, ordered,
+                   std::string(c.bench) + "/" + c.idiom + "/ordered");
+
+        auto reversed =
+            idl::lowerIdiom(idioms::idiomLibrary(), c.idiom);
+        reverseConjunctions(*reversed.root);
+        crossCheck(module, reversed,
+                   std::string(c.bench) + "/" + c.idiom + "/reversed");
+
+        ir::Function *func = module.functionByName(b.entry);
+        ASSERT_NE(func, nullptr);
+        analysis::FunctionAnalyses fa(func);
+        solver::Solver s(func, fa);
+        s.solveAll(reversed);
+        reversedTotal += s.stats();
+    }
+    // Reversal destroys the generate-before-check ordering, so the
+    // goal-rotation fallback must actually fire.
+    EXPECT_GT(reversedTotal.rotations, 0u);
+}
+
+} // namespace
