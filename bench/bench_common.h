@@ -5,6 +5,7 @@
 #ifndef BENCH_BENCH_COMMON_H
 #define BENCH_BENCH_COMMON_H
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -17,6 +18,32 @@
 #include "idioms/library.h"
 
 namespace repro::bench {
+
+/** Milliseconds on the monotonic clock (shared timing methodology of
+ *  every bench binary). */
+inline double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-@p reps wall-clock of @p fn in milliseconds. */
+template <typename Fn>
+inline double
+bestOf(int reps, Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        double t0 = nowMs();
+        fn();
+        double dt = nowMs() - t0;
+        if (r == 0 || dt < best)
+            best = dt;
+    }
+    return best;
+}
 
 /** Idiom-class counts of one benchmark. */
 struct ClassCounts

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Canonical measurement of the execution layer: the bytecode engine
+ * (interp/compiled.h) vs the tree-walking reference interpreter on
+ * the profiled interpreted runs behind Figures 16-19, plus the
+ * end-to-end differential transform-verification sweep
+ * (MatchingDriver::verifyTransforms).
+ *
+ * For every NAS/Parboil program the bench times a fully profiled run
+ * of the original program under both engines (best of --reps, fresh
+ * interpreter per repetition so bytecode compilation cost is charged
+ * honestly), then runs the differential harness: original and
+ * transformed programs on identical seeded heaps, byte-identical
+ * heaps/returns/Profile counts across engines, byte-identical watched
+ * outputs across the transform. Results are written as
+ * BENCH_interp.json so the execution layer's perf trajectory is
+ * tracked per commit (the Release CI job uploads the file as an
+ * artifact). Exits non-zero on any verification failure.
+ *
+ * Flags:
+ *   --json=PATH   output path (default BENCH_interp.json)
+ *   --reps=N      repetitions per measurement (default 5)
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "interp/builtins.h"
+
+using namespace repro;
+
+namespace {
+
+using bench::bestOf;
+
+struct ProgramPoint
+{
+    std::string name;
+    double referenceMs = 0.0;
+    double bytecodeMs = 0.0;
+    uint64_t steps = 0;
+    driver::TransformVerification verify;
+
+    double
+    speedup() const
+    {
+        return bytecodeMs > 0.0 ? referenceMs / bytecodeMs : 0.0;
+    }
+};
+
+/** One profiled run of @p b's original program under one engine. */
+uint64_t
+runOnce(ir::Module &module, const benchmarks::BenchmarkProgram &b,
+        bool reference)
+{
+    interp::Memory mem;
+    interp::Interpreter it(module, mem);
+    interp::registerMathBuiltins(it);
+    it.enableProfile(true);
+    auto inst = b.setup(mem);
+    ir::Function *entry = module.functionByName(b.entry);
+    if (reference)
+        it.runReference(entry, inst.args);
+    else
+        it.run(entry, inst.args);
+    return it.profile().totalSteps;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_interp.json";
+    int reps = 5;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--json=", 7) == 0)
+            json_path = argv[i] + 7;
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::atoi(argv[i] + 7);
+    }
+    if (reps < 1)
+        reps = 1;
+
+    const auto &suite = benchmarks::nasParboilSuite();
+    std::printf("Canonical execution-layer measurement: profiled "
+                "interpreted runs of the Fig. 16-19 workloads "
+                "(%zu programs, best of %d)\n",
+                suite.size(), reps);
+    std::printf("%-8s %12s %12s %9s %12s %6s %7s\n", "bench",
+                "ref(ms)", "bytecode(ms)", "speedup", "steps",
+                "repl", "verify");
+
+    driver::MatchingDriver drv;
+    std::vector<ProgramPoint> points;
+    double total_ref = 0.0, total_bc = 0.0;
+    bool all_ok = true;
+    for (const auto &b : suite) {
+        ProgramPoint p;
+        p.name = b.name;
+
+        ir::Module module;
+        frontend::compileMiniCOrDie(b.source, module);
+        p.referenceMs =
+            bestOf(reps, [&] { runOnce(module, b, true); });
+        p.bytecodeMs =
+            bestOf(reps, [&] { p.steps = runOnce(module, b, false); });
+        p.verify = drv.verifyTransform(b);
+        all_ok = all_ok && p.verify.ok();
+        total_ref += p.referenceMs;
+        total_bc += p.bytecodeMs;
+
+        std::printf("%-8s %12.3f %12.3f %8.2fx %12llu %6zu %7s\n",
+                    p.name.c_str(), p.referenceMs, p.bytecodeMs,
+                    p.speedup(),
+                    static_cast<unsigned long long>(p.steps),
+                    p.verify.replacements,
+                    p.verify.ok() ? "ok" : "FAIL");
+        if (!p.verify.ok())
+            std::printf("  mismatch: %s\n", p.verify.error.c_str());
+        points.push_back(std::move(p));
+    }
+    double speedup = total_bc > 0.0 ? total_ref / total_bc : 0.0;
+    std::printf("total: reference %.2f ms, bytecode %.2f ms -> "
+                "%.2fx, differential verification %s\n",
+                total_ref, total_bc, speedup,
+                all_ok ? "passed" : "FAILED");
+
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"workload\": \"nas-parboil-fig16-19-interp\",\n"
+        << "  \"programs\": " << points.size() << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"reference_total_ms\": " << total_ref << ",\n"
+        << "  \"bytecode_total_ms\": " << total_bc << ",\n"
+        << "  \"speedup\": " << speedup << ",\n"
+        << "  \"verified\": " << (all_ok ? "true" : "false") << ",\n"
+        << "  \"suites\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        out << "    {\"name\": \"" << p.name << "\""
+            << ", \"reference_ms\": " << p.referenceMs
+            << ", \"bytecode_ms\": " << p.bytecodeMs
+            << ", \"speedup\": " << p.speedup()
+            << ", \"steps\": " << p.steps
+            << ", \"transformed_steps\": " << p.verify.transformedSteps
+            << ", \"matches\": " << p.verify.matches
+            << ", \"replacements\": " << p.verify.replacements
+            << ", \"loops_compared\": " << p.verify.loopsCompared
+            << ", \"verify_ok\": "
+            << (p.verify.ok() ? "true" : "false") << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    out.close();
+    if (out.fail()) {
+        std::fprintf(stderr, "FAIL: could not write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+
+    if (!all_ok) {
+        std::fprintf(stderr, "FAIL: transformed execution diverges "
+                             "from the original program\n");
+        return 1;
+    }
+    return 0;
+}

@@ -23,13 +23,7 @@ using namespace repro;
 
 namespace {
 
-double
-nowMs()
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
+using bench::bestOf;
 
 std::vector<std::string>
 reportKeys(const std::vector<driver::MatchReport> &reports)
@@ -49,22 +43,6 @@ reportTotals(const std::vector<driver::MatchReport> &reports)
     for (const auto &r : reports)
         totals += r.totals;
     return totals;
-}
-
-/** Best-of-@p reps wall-clock of @p fn in milliseconds. */
-template <typename Fn>
-double
-bestOf(int reps, Fn &&fn)
-{
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-        double t0 = nowMs();
-        fn();
-        double dt = nowMs() - t0;
-        if (r == 0 || dt < best)
-            best = dt;
-    }
-    return best;
 }
 
 struct SweepPoint

@@ -189,29 +189,7 @@ BENCHMARK(BM_MatchSuiteParallel)
 
 namespace {
 
-double
-nowMs()
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-/** Best-of-@p reps wall-clock of @p fn in milliseconds. */
-template <typename Fn>
-double
-bestOf(int reps, Fn &&fn)
-{
-    double best = 0.0;
-    for (int r = 0; r < reps; ++r) {
-        double t0 = nowMs();
-        fn();
-        double dt = nowMs() - t0;
-        if (r == 0 || dt < best)
-            best = dt;
-    }
-    return best;
-}
+using bench::bestOf;
 
 void
 printStatsFields(std::ofstream &out, const solver::SolveStats &s)

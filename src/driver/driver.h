@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "analysis/function_analyses.h"
+#include "benchmarks/suite.h"
 #include "idioms/library.h"
 #include "solver/solver.h"
 #include "transform/transform.h"
@@ -81,6 +82,39 @@ struct MatchReport
 
     /** Total number of matches across all functions. */
     size_t matchCount() const;
+};
+
+/**
+ * Differential execution record of one benchmark program, produced by
+ * MatchingDriver::verifyTransform. The harness runs the original and
+ * the transformed program on identically seeded heaps, each under
+ * both execution engines (bytecode Interpreter::run and tree-walking
+ * Interpreter::runReference), and requires:
+ *
+ *  - byte-identical final heaps, return values, Profile counts and
+ *    per-natural-loop dynamic instruction counts between the two
+ *    engines, for the original and the transformed program alike; and
+ *  - byte-identical watched output arrays and return values between
+ *    the original and the transformed program (the paper's Figure 1
+ *    claim: replacing idioms with heterogeneous API calls preserves
+ *    results).
+ */
+struct TransformVerification
+{
+    std::string name;
+    /** Idiom matches found / replacements actually applied. */
+    size_t matches = 0;
+    size_t replacements = 0;
+    /** Natural loops whose dynamic counts were compared per engine. */
+    size_t loopsCompared = 0;
+    /** Dynamic instructions of the original / transformed program
+     *  (reference engine; the bytecode engine must agree exactly). */
+    uint64_t originalSteps = 0;
+    uint64_t transformedSteps = 0;
+    /** First mismatch description; empty when everything agreed. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
 };
 
 /** Raw solve of one lowered constraint program (ablation studies). */
@@ -155,6 +189,30 @@ class MatchingDriver
     MatchReport compileAndMatchParallel(const std::string &source,
                                         ir::Module &module,
                                         unsigned numThreads = 0);
+
+    /**
+     * Differentially verify one benchmark program end to end
+     * (match -> transform -> bind -> execute); see
+     * TransformVerification for the exact contract. Self-contained:
+     * compiles private modules and drivers, never touches this
+     * instance's analysis cache (only opts_.limits is read), so it is
+     * safe to call concurrently from many workers.
+     */
+    TransformVerification
+    verifyTransform(const benchmarks::BenchmarkProgram &program) const;
+
+    /** verifyTransform over the whole NAS/Parboil suite, in order. */
+    std::vector<TransformVerification> verifyTransforms() const;
+
+    /**
+     * Parallel verifyTransforms: the suite's programs become shards
+     * on the same work-stealing pool the parallel matcher uses
+     * (0 = hardware concurrency). Results are written to slots
+     * preassigned in suite order, so they are identical to the
+     * serial variant regardless of scheduling.
+     */
+    std::vector<TransformVerification>
+    verifyTransformsParallel(unsigned numThreads = 0) const;
 
     /** Match one function, all top-level idioms, with subsumption. */
     std::vector<idioms::IdiomMatch> matchFunction(ir::Function *func);

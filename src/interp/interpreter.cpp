@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "interp/compiled.h"
 #include "ir/printer.h"
 
 namespace repro::interp {
@@ -28,20 +29,6 @@ Interpreter::registerNative(const std::string &name, NativeFn fn)
     natives_[name] = std::move(fn);
 }
 
-namespace {
-
-/** Float-typed results must round to float precision so that native
- *  skeletons and interpreted code agree bit for bit. */
-double
-roundIfFloat(const Type *type, double v)
-{
-    if (type->kind() == Type::Kind::Float)
-        return static_cast<double>(static_cast<float>(v));
-    return v;
-}
-
-} // namespace
-
 RuntimeValue
 Interpreter::evalConstant(const ir::Constant *c) const
 {
@@ -52,18 +39,54 @@ Interpreter::evalConstant(const ir::Constant *c) const
     return RuntimeValue::makeInt(c->intValue());
 }
 
-RuntimeValue
-Interpreter::run(ir::Function *func,
-                 const std::vector<RuntimeValue> &args)
+// Out of line so CompiledFunction is complete where the cache's
+// unique_ptrs are constructed and destroyed.
+Interpreter::Interpreter(ir::Module &module, Memory &mem)
+    : module_(module), mem_(mem)
+{}
+
+Interpreter::~Interpreter() = default;
+
+void
+Interpreter::materializeGlobals()
 {
-    steps_ = 0;
-    // Materialize globals once.
+    // Module order, so both engines lay out globals identically.
     for (const auto &g : module_.globals()) {
         if (!globalAddrs_.count(g.get())) {
             globalAddrs_[g.get()] =
                 mem_.allocate(g->storedType()->sizeInBytes());
         }
     }
+}
+
+RuntimeValue
+Interpreter::run(ir::Function *func,
+                 const std::vector<RuntimeValue> &args)
+{
+    engine_ = Engine::Compiled;
+    steps_ = 0;
+    materializeGlobals();
+    // Flush even when execution throws (step limit, memory trap), so
+    // partial profiles match what the reference engine accumulates.
+    try {
+        RuntimeValue result = CompiledExec::run(*this, func, args, 0);
+        if (profiling_)
+            flushProfileBuffers();
+        return result;
+    } catch (...) {
+        if (profiling_)
+            flushProfileBuffers();
+        throw;
+    }
+}
+
+RuntimeValue
+Interpreter::runReference(ir::Function *func,
+                          const std::vector<RuntimeValue> &args)
+{
+    engine_ = Engine::Reference;
+    steps_ = 0;
+    materializeGlobals();
     return runFunction(func, args, 0);
 }
 
@@ -71,7 +94,48 @@ RuntimeValue
 Interpreter::call(ir::Function *func,
                   const std::vector<RuntimeValue> &args)
 {
-    return runFunction(func, args, 1);
+    if (engine_ == Engine::Reference)
+        return runFunction(func, args, 1);
+    return CompiledExec::run(*this, func, args, 1);
+}
+
+const CompiledFunction &
+Interpreter::compiledFor(ir::Function *func)
+{
+    auto &slot = compiled_[func];
+    if (!slot)
+        slot = std::make_unique<CompiledFunction>(*func);
+    return *slot;
+}
+
+uint64_t *
+Interpreter::profileBufferFor(const CompiledFunction &cf)
+{
+    auto &buf = profileBuffers_[&cf];
+    if (buf.empty())
+        buf.resize(cf.numProfiled(), 0);
+    return buf.data();
+}
+
+void
+Interpreter::flushProfileBuffers()
+{
+    for (auto &[cf, buf] : profileBuffers_) {
+        const auto &insts = cf->profInstructions();
+        for (size_t i = 0; i < buf.size(); ++i) {
+            if (buf[i] != 0) {
+                profile_.counts[insts[i]] += buf[i];
+                buf[i] = 0;
+            }
+        }
+    }
+}
+
+void
+Interpreter::clearProfile()
+{
+    profile_ = Profile();
+    profileBuffers_.clear();
 }
 
 namespace {
@@ -184,12 +248,25 @@ Interpreter::runFunction(ir::Function *func,
         switch (inst->opcode()) {
           case Opcode::Phi: {
             // Evaluate the whole phi group against the predecessor
-            // atomically.
+            // atomically. Every member costs one dynamic instruction:
+            // the generic accounting above charged the first phi, so
+            // charge the rest here (skipping them skews the per-loop
+            // counts Figures 16-19 report).
             std::vector<std::pair<Instruction *, RuntimeValue>> vals;
             size_t i = index - 1;
             while (i < block->size() &&
                    block->insts()[i]->is(Opcode::Phi)) {
                 Instruction *phi = block->insts()[i].get();
+                if (i != index - 1) {
+                    if (++steps_ > stepLimit_) {
+                        throw FatalError(
+                            "interpreter: step limit exceeded");
+                    }
+                    if (profiling_) {
+                        ++profile_.counts[phi];
+                        ++profile_.totalSteps;
+                    }
+                }
                 Value *in = phi->incomingFor(prev);
                 if (!in) {
                     throw FatalError(

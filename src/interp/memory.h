@@ -4,12 +4,20 @@
  *
  * Pointers in interpreted programs are 64-bit offsets into this heap.
  * Address 0 is kept invalid so null-pointer bugs trap.
+ *
+ * All bounds arithmetic is overflow-safe: interpreted programs control
+ * the addresses they dereference, so a wild pointer near 2^64 must not
+ * wrap `addr + size` past the heap end and slip through the range
+ * check (that is exactly the bug class hardware accelerators inherit
+ * when a transformed program hands them a bad extent).
  */
 #ifndef INTERP_MEMORY_H
 #define INTERP_MEMORY_H
 
 #include <cstdint>
 #include <cstring>
+#include <new>
+#include <stdexcept>
 #include <vector>
 
 #include "support/diagnostics.h"
@@ -20,18 +28,48 @@ namespace repro::interp {
 class Memory
 {
   public:
+    /** Lowest valid address; [0, kBase) traps as a null-pointer zone. */
+    static constexpr uint64_t kBase = 64;
+
     Memory() : bytes_(kBase, 0) {}
 
-    /** Allocate @p size bytes, 8-byte aligned; returns the address. */
+    /**
+     * Allocate @p size bytes, 8-byte aligned; returns the address.
+     *
+     * Zero-sized allocations still advance the heap so every call
+     * returns a distinct address that never aliases a later
+     * allocation. Sizes that would overflow the address computation
+     * (or exceed the address-space cap) throw FatalError instead of
+     * wrapping around.
+     */
     uint64_t
     allocate(uint64_t size)
     {
+        reproAssert(rawBorrows_ == 0,
+                    "Memory::allocate while a RawSpan is borrowed: "
+                    "the heap may reallocate and invalidate it");
         uint64_t addr = (bytes_.size() + 7) & ~uint64_t(7);
-        bytes_.resize(addr + size, 0);
+        uint64_t bytes = size == 0 ? 1 : size;
+        if (bytes > kMaxBytes - addr) {
+            throw FatalError(
+                "interpreter heap allocation overflows address space");
+        }
+        try {
+            bytes_.resize(addr + bytes, 0);
+        } catch (const std::bad_alloc &) {
+            throw FatalError("interpreter heap exhausted");
+        } catch (const std::length_error &) {
+            throw FatalError("interpreter heap exhausted");
+        }
+        ++generation_;
         return addr;
     }
 
     uint64_t size() const { return bytes_.size(); }
+
+    /** Bumped on every allocation; stale raw() pointers are those
+     *  taken at an older generation. */
+    uint64_t generation() const { return generation_; }
 
     template <typename T>
     T
@@ -51,7 +89,15 @@ class Memory
         std::memcpy(bytes_.data() + addr, &value, sizeof(T));
     }
 
-    /** Direct pointer into the heap for bulk native operations. */
+    /**
+     * Direct pointer into the heap for bulk native operations.
+     *
+     * WARNING: the pointer is invalidated by any subsequent
+     * allocate() — the backing vector may reallocate. Native runtime
+     * handlers must re-fetch it after every allocation (or use a
+     * RawSpan, which turns a held-across-allocate bug into an
+     * InternalError instead of a use-after-free).
+     */
     uint8_t *
     raw(uint64_t addr, uint64_t size)
     {
@@ -66,17 +112,66 @@ class Memory
         return bytes_.data() + addr;
     }
 
+    /**
+     * Scoped, checked borrow of a heap range. While any RawSpan is
+     * alive, allocate() asserts (throws InternalError) instead of
+     * silently invalidating the borrowed pointer; data() additionally
+     * re-validates that no allocation happened since construction.
+     */
+    class RawSpan
+    {
+      public:
+        RawSpan(const Memory &mem, uint64_t addr, uint64_t size)
+            : mem_(&mem), addr_(addr), size_(size),
+              generation_(mem.generation_)
+        {
+            mem.checkRange(addr, size);
+            ++mem.rawBorrows_;
+        }
+
+        ~RawSpan() { --mem_->rawBorrows_; }
+
+        RawSpan(const RawSpan &) = delete;
+        RawSpan &operator=(const RawSpan &) = delete;
+
+        const uint8_t *
+        data() const
+        {
+            reproAssert(generation_ == mem_->generation_,
+                        "Memory::RawSpan used after the heap grew");
+            return mem_->bytes_.data() + addr_;
+        }
+
+        uint64_t size() const { return size_; }
+
+      private:
+        const Memory *mem_;
+        uint64_t addr_;
+        uint64_t size_;
+        uint64_t generation_;
+    };
+
   private:
+    friend class RawSpan;
+
     void
     checkRange(uint64_t addr, uint64_t size) const
     {
-        if (addr < kBase || addr + size > bytes_.size()) {
+        // `addr + size` wraps for near-2^64 addresses; compare by
+        // subtraction against the heap end instead.
+        if (addr < kBase || size > bytes_.size() ||
+            addr > bytes_.size() - size) {
             throw FatalError("interpreter memory access out of range");
         }
     }
 
-    static constexpr uint64_t kBase = 64;
+    /** Address-space cap (way beyond any paper-scale workload); keeps
+     *  `addr + size` representable before the resize. */
+    static constexpr uint64_t kMaxBytes = uint64_t(1) << 47;
+
     std::vector<uint8_t> bytes_;
+    uint64_t generation_ = 0;
+    mutable uint64_t rawBorrows_ = 0;
 };
 
 } // namespace repro::interp

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 #include <gtest/gtest.h>
 
 #include "frontend/compiler.h"
@@ -165,6 +166,134 @@ TEST(Interp, MemoryRangeChecked)
     EXPECT_DOUBLE_EQ(mem.load<double>(a), 1.0);
     EXPECT_THROW(mem.load<double>(mem.size() + 64), FatalError);
     EXPECT_THROW(mem.load<double>(0), FatalError); // null guard
+}
+
+TEST(Interp, MemoryRangeCheckRejectsAddressOverflow)
+{
+    // Regression: checkRange computed `addr + size`, which wraps for
+    // near-2^64 addresses and silently passed the bounds check (the
+    // memcpy then read/wrote wild host memory).
+    interp::Memory mem;
+    mem.allocate(64);
+    EXPECT_THROW(mem.load<double>(UINT64_MAX - 4), FatalError);
+    EXPECT_THROW(mem.store<double>(UINT64_MAX - 4, 1.0), FatalError);
+    EXPECT_THROW(mem.load<int32_t>(UINT64_MAX - 2), FatalError);
+    EXPECT_THROW(mem.store<int64_t>(UINT64_MAX - 7, 1), FatalError);
+    EXPECT_THROW(mem.load<uint8_t>(UINT64_MAX), FatalError);
+    // The boundary itself still works.
+    uint64_t last = mem.size() - 8;
+    mem.store<int64_t>(last, 42);
+    EXPECT_EQ(mem.load<int64_t>(last), 42);
+}
+
+TEST(Interp, MemoryAllocateRejectsOverflowingSizes)
+{
+    // Regression: `addr + size` overflowed inside allocate, resizing
+    // the heap to a tiny wrapped value instead of failing.
+    interp::Memory mem;
+    EXPECT_THROW(mem.allocate(UINT64_MAX), FatalError);
+    EXPECT_THROW(mem.allocate(UINT64_MAX - 2), FatalError);
+    EXPECT_THROW(mem.allocate(UINT64_MAX / 2), FatalError);
+    // The failed calls must not have corrupted the heap.
+    uint64_t a = mem.allocate(16);
+    mem.store<int64_t>(a, 7);
+    EXPECT_EQ(mem.load<int64_t>(a), 7);
+}
+
+TEST(Interp, ZeroSizedAllocationsDoNotAlias)
+{
+    // Regression: allocate(0) returned the current end-of-heap
+    // address without advancing it, so the next allocation aliased
+    // the zero-sized one.
+    interp::Memory mem;
+    uint64_t a = mem.allocate(0);
+    uint64_t b = mem.allocate(0);
+    uint64_t c = mem.allocate(8);
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    EXPECT_NE(a, c);
+    EXPECT_GE(b, a + 1);
+    EXPECT_GE(c, b + 1);
+}
+
+TEST(Interp, RawSpanGuardsAgainstInvalidation)
+{
+    interp::Memory mem;
+    uint64_t a = mem.allocate(8);
+    mem.store<int64_t>(a, 11);
+    {
+        interp::Memory::RawSpan span(mem, a, 8);
+        int64_t v;
+        std::memcpy(&v, span.data(), sizeof(v));
+        EXPECT_EQ(v, 11);
+        // Growing the heap would invalidate the borrowed pointer;
+        // the guard turns that bug into an InternalError.
+        EXPECT_THROW(mem.allocate(8), InternalError);
+    }
+    // Once the span is gone, allocation works again.
+    uint64_t b = mem.allocate(8);
+    EXPECT_GT(b, a);
+}
+
+TEST(Interp, PhiGroupsChargeEveryMember)
+{
+    // Regression: the tree-walker evaluated a whole phi group
+    // atomically but charged only the first phi to steps_/profile_,
+    // skewing the per-loop counts Figures 16-19 report.
+    const char *src = R"(
+        int fib(int n) {
+            int a = 0;
+            int b = 1;
+            for (int i = 0; i < n; i++) {
+                int t = a + b;
+                a = b;
+                b = t;
+            }
+            return a;
+        }
+    )";
+    ir::Module module;
+    frontend::compileMiniCOrDie(src, module);
+
+    for (bool reference : {true, false}) {
+        interp::Memory mem;
+        interp::Interpreter it(module, mem);
+        it.enableProfile(true);
+        ir::Function *func = module.functionByName("fib");
+        int64_t r = reference ? it.runReference(func, {I(10)}).i
+                              : it.run(func, {I(10)}).i;
+        EXPECT_EQ(r, 55);
+
+        // Every phi of a group executes the same number of times, so
+        // all phis of one block must carry identical nonzero counts.
+        size_t phis = 0;
+        for (const auto &bb : func->blocks()) {
+            uint64_t groupCount = 0;
+            for (const auto &inst : bb->insts()) {
+                if (!inst->is(ir::Opcode::Phi))
+                    break;
+                auto found = it.profile().counts.find(inst.get());
+                ASSERT_NE(found, it.profile().counts.end())
+                    << "uncharged phi (engine "
+                    << (reference ? "reference" : "bytecode") << ")";
+                if (groupCount == 0)
+                    groupCount = found->second;
+                EXPECT_EQ(found->second, groupCount);
+                EXPECT_GT(found->second, 0u);
+                ++phis;
+            }
+        }
+        // mem2reg must have produced a phi group (a, b, i at least).
+        EXPECT_GE(phis, 3u);
+
+        // totalSteps is consistent with the per-instruction counts.
+        uint64_t sum = 0;
+        for (const auto &[inst, count] : it.profile().counts) {
+            (void)inst;
+            sum += count;
+        }
+        EXPECT_EQ(sum, it.profile().totalSteps);
+    }
 }
 
 TEST(Interp, ProfileCountsDynamicInstructions)
