@@ -217,22 +217,48 @@ MatchingDriver::runParallelBatch(
 
     accumulate(matchShards(items, numThreads));
 
-    bool transformed = false;
     for (size_t m = 0; m < modules.size(); ++m) {
         for (const auto &fr : reports[m].functions)
             reports[m].totals += fr.stats;
-        if (opts_.applyTransforms) {
-            transform::Transformer transformer(*modules[m]);
-            reports[m].replacements =
-                transformer.applyAll(reports[m].allMatches());
-            transformed = true;
-        }
     }
-    // The transformation stage rewrites matched functions; any
-    // analyses the driver's serial cache holds are suspect now.
-    if (transformed)
+    if (opts_.applyTransforms) {
+        // The transform stage shards over modules on the same pool
+        // (transformShards inside applyAllParallel): each module gets
+        // a private transactional engine, so results are identical to
+        // the serial stage and ordered by module.
+        std::vector<std::vector<idioms::IdiomMatch>> matches;
+        matches.reserve(modules.size());
+        for (const auto &report : reports)
+            matches.push_back(report.allMatches());
+        auto replacements =
+            applyAllParallel(modules, matches, numThreads);
+        for (size_t m = 0; m < modules.size(); ++m)
+            reports[m].replacements = std::move(replacements[m]);
+        // The transformation stage rewrites matched functions; any
+        // analyses the driver's serial cache holds are suspect now.
         invalidateAll();
+    }
     return reports;
+}
+
+std::vector<std::vector<transform::Replacement>>
+MatchingDriver::applyAllParallel(
+    const std::vector<ir::Module *> &modules,
+    const std::vector<std::vector<idioms::IdiomMatch>> &matches,
+    unsigned numThreads)
+{
+    if (modules.size() != matches.size()) {
+        throw FatalError("applyAllParallel: modules and matches "
+                         "disagree in size");
+    }
+    std::vector<std::vector<transform::Replacement>> out(
+        modules.size());
+    unsigned threads = resolveThreads(numThreads, modules.size());
+    runSharded(modules.size(), threads, [&](size_t i, unsigned) {
+        transform::Transformer transformer(*modules[i]);
+        out[i] = transformer.applyAll(matches[i]);
+    });
+    return out;
 }
 
 MatchReport

@@ -164,7 +164,8 @@ class MatchingDriver
      * sets, the per-function stats and the aggregated totals are
      * byte-identical to matchModule() and reported in module order
      * regardless of scheduling. The optional transformation stage
-     * still runs serially after the join (it rewrites the module).
+     * runs after the join through applyAllParallel (one rewrite
+     * engine per module on the same pool).
      */
     MatchReport runParallel(ir::Module &module,
                             unsigned numThreads = 0);
@@ -189,6 +190,24 @@ class MatchingDriver
     MatchReport compileAndMatchParallel(const std::string &source,
                                         ir::Module &module,
                                         unsigned numThreads = 0);
+
+    /**
+     * Parallel transform stage: module @p i becomes one shard on the
+     * same work-stealing pool the parallel matcher uses, and a fresh
+     * transactional Transformer applies @p matches[i] to it
+     * (plan → resolve overlaps → validate → commit; see
+     * transform/rewrite.h). Modules are fully independent — planning
+     * and commit for different modules run concurrently — while
+     * within one module the engine plans in match order, so the
+     * replacement lists are byte-identical to the serial stage and
+     * returned in @p modules order regardless of scheduling.
+     * Throws FatalError when the two vectors disagree in size.
+     */
+    std::vector<std::vector<transform::Replacement>>
+    applyAllParallel(
+        const std::vector<ir::Module *> &modules,
+        const std::vector<std::vector<idioms::IdiomMatch>> &matches,
+        unsigned numThreads = 0);
 
     /**
      * Differentially verify one benchmark program end to end

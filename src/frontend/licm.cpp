@@ -55,6 +55,26 @@ isSpeculatable(const Instruction *inst)
     }
 }
 
+/**
+ * The loop's blocks in function layout order. Loop::blocks is a
+ * std::set of pointers: iterating it directly makes the hoist /
+ * promotion order depend on heap addresses, so two compiles of the
+ * same source in one process could emit differently-ordered (if
+ * semantically equal) IR — which breaks every byte-identical
+ * differential comparison downstream.
+ */
+std::vector<BasicBlock *>
+blocksInLayoutOrder(const Function *func, const Loop &loop)
+{
+    std::vector<BasicBlock *> out;
+    out.reserve(loop.blocks.size());
+    for (const auto &bb : func->blocks()) {
+        if (loop.contains(bb.get()))
+            out.push_back(bb.get());
+    }
+    return out;
+}
+
 /** All operands defined outside @p loop? */
 bool
 operandsInvariant(const Instruction *inst, const Loop &loop)
@@ -91,10 +111,13 @@ hoistInLoop(Function *func, const Loop &loop, const DomTree &dom)
     BasicBlock *latch = loop.latch;
 
     int hoisted = 0;
+    // Hoisting moves instructions, never blocks: one layout pass.
+    const std::vector<BasicBlock *> body =
+        blocksInLayoutOrder(func, loop);
     bool changed = true;
     while (changed) {
         changed = false;
-        for (BasicBlock *bb : loop.blocks) {
+        for (BasicBlock *bb : body) {
             for (size_t i = 0; i < bb->size(); ++i) {
                 Instruction *inst = bb->insts()[i].get();
                 bool hoistable = false;
@@ -118,7 +141,6 @@ hoistInLoop(Function *func, const Loop &loop, const DomTree &dom)
             }
         }
     }
-    (void)func;
     return hoisted;
 }
 
@@ -182,7 +204,7 @@ promoteInLoop(Function *func, const Loop &loop, const DomTree &dom)
         bool isStore;
     };
     std::vector<Access> accesses;
-    for (BasicBlock *bb : loop.blocks) {
+    for (BasicBlock *bb : blocksInLayoutOrder(func, loop)) {
         for (const auto &inst : bb->insts()) {
             if (inst->is(Opcode::Call))
                 return 0; // calls may touch anything
@@ -329,8 +351,10 @@ promoteMemoryAccumulators(Function *func)
         std::vector<Loop *> order;
         for (const auto &loop : loops.loops())
             order.push_back(loop.get());
-        std::sort(order.begin(), order.end(),
-                  [](Loop *a, Loop *b) { return a->depth > b->depth; });
+        // stable: ties keep LoopInfo's deterministic discovery order.
+        std::stable_sort(
+            order.begin(), order.end(),
+            [](Loop *a, Loop *b) { return a->depth > b->depth; });
         for (Loop *loop : order) {
             if (promoteInLoop(func, *loop, dom) > 0) {
                 ++total;

@@ -672,6 +672,17 @@ idiomClaimVars(const std::string &idiom)
     return {};
 }
 
+int
+idiomSpecificity(const std::string &idiom)
+{
+    const auto order = topLevelIdioms();
+    for (size_t i = 0; i < order.size(); ++i) {
+        if (order[i] == idiom)
+            return static_cast<int>(i);
+    }
+    return static_cast<int>(order.size());
+}
+
 IdiomDetector::IdiomDetector() : IdiomDetector(solver::SolverLimits{})
 {
 }

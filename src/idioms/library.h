@@ -136,6 +136,15 @@ std::string idiomAnchorVar(const std::string &idiom);
 IdiomClass idiomClassOf(const std::string &idiom);
 
 /**
+ * Specificity rank of @p idiom: its position in the most-specific-
+ * first topLevelIdioms() order (0 = most specific). Names outside the
+ * top-level set rank least specific. The rewrite engine uses this to
+ * resolve overlapping block claims — a GEMM nest beats the scalar
+ * Reduction matched inside it.
+ */
+int idiomSpecificity(const std::string &idiom);
+
+/**
  * Variable names whose bound values identify the loops an idiom match
  * occupies (used for subsumption and runtime-coverage attribution).
  */

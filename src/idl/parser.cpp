@@ -56,15 +56,35 @@ lex(const std::string &source, DiagEngine &diags)
         }
         SourceLoc loc{line, col};
         if (c == '{') {
-            size_t end = source.find('}', pos);
-            if (end == std::string::npos) {
-                diags.error(loc, "unterminated '{' in IDL source");
-                advance(source.size() - pos);
+            // Scan for the closing '}' ourselves (a naive find('}')
+            // would swallow a nested '{' into the variable name and
+            // lose its position). advance() keeps line/col exact even
+            // when the brace variable spans multiple lines.
+            advance(1); // consume '{'
+            size_t start = pos;
+            while (pos < source.size() && source[pos] != '}' &&
+                   source[pos] != '{') {
+                advance(1);
+            }
+            if (pos >= source.size()) {
+                diags.error(loc,
+                            "unterminated '{' variable in IDL source "
+                            "(opened at " + loc.str() + ")");
+                continue;
+            }
+            if (source[pos] == '{') {
+                diags.error(
+                    SourceLoc{line, col},
+                    "nested '{' inside the brace variable opened at " +
+                        loc.str());
+                // Recover by re-lexing from the nested brace: it
+                // starts a fresh variable token, so one malformed
+                // brace yields one diagnostic, not a cascade.
                 continue;
             }
             out.push_back({IdlTok::Var,
-                           source.substr(pos + 1, end - pos - 1), loc});
-            advance(end - pos + 1);
+                           source.substr(start, pos - start), loc});
+            advance(1); // consume '}'
             continue;
         }
         if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {

@@ -116,6 +116,19 @@ Module::createFunction(const std::string &name, Type *ret,
     return functions_.back().get();
 }
 
+void
+Module::removeFunction(Function *func)
+{
+    for (size_t i = 0; i < functions_.size(); ++i) {
+        if (functions_[i].get() == func) {
+            functions_.erase(functions_.begin() +
+                             static_cast<ptrdiff_t>(i));
+            return;
+        }
+    }
+    reproAssert(false, "removeFunction: function not in module");
+}
+
 Function *
 Module::functionByName(const std::string &name) const
 {
@@ -124,6 +137,18 @@ Module::functionByName(const std::string &name) const
             return f.get();
     }
     return nullptr;
+}
+
+std::vector<const Constant *>
+Module::internedConstants() const
+{
+    std::vector<const Constant *> out;
+    out.reserve(intConsts_.size() + fpConsts_.size());
+    for (const auto &[key, c] : intConsts_)
+        out.push_back(c.get());
+    for (const auto &[key, c] : fpConsts_)
+        out.push_back(c.get());
+    return out;
 }
 
 GlobalVariable *

@@ -105,6 +105,15 @@ class Module
 
     Function *createFunction(const std::string &name, Type *ret,
                              std::vector<Type *> params);
+
+    /**
+     * Remove @p func from the module and destroy it (rollback path of
+     * a failed rewrite commit). The function must have no remaining
+     * call sites; its own operand edges are dropped first so interned
+     * constants and globals it references survive intact.
+     */
+    void removeFunction(Function *func);
+
     Function *functionByName(const std::string &name) const;
     const std::vector<std::unique_ptr<Function>> &functions() const
     {
@@ -122,6 +131,14 @@ class Module
     Constant *intConst(Type *type, int64_t value);
     /** Interned floating point constant. */
     Constant *fpConst(Type *type, double value);
+
+    /**
+     * Every constant interned so far. Rewrite-plan validation builds
+     * its whitelist of safely-referenceable values from this: a
+     * pointer recorded in a plan may dangle, so liveness must be
+     * decided by set membership alone, never by dereferencing.
+     */
+    std::vector<const Constant *> internedConstants() const;
 
   private:
     TypeContext types_;

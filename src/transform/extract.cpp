@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <set>
 
 namespace repro::transform {
@@ -37,11 +36,10 @@ isClonable(const Instruction *inst)
 
 } // namespace
 
-std::optional<ExtractedKernel>
-extractKernel(Module &module, const std::string &name, const Value *out,
-              const Instruction *region_begin,
-              const std::vector<const Value *> &inputs,
-              const DomTree &dom, const Instruction *call_point)
+std::optional<KernelSlice>
+planKernelSlice(const Value *out, const Instruction *region_begin,
+                const std::vector<const Value *> &inputs,
+                const DomTree &dom, const Instruction *call_point)
 {
     std::set<const Value *> input_set(inputs.begin(), inputs.end());
     auto in_region = [&](const Instruction *inst) {
@@ -49,7 +47,10 @@ extractKernel(Module &module, const std::string &name, const Value *out,
     };
 
     // Classify the backward slice.
-    std::vector<const Value *> invariants;
+    KernelSlice slice;
+    slice.out = out;
+    slice.regionBegin = region_begin;
+    slice.inputs = inputs;
     std::set<const Value *> seen;
     std::vector<const Value *> stack{out};
     seen.insert(out);
@@ -61,9 +62,10 @@ extractKernel(Module &module, const std::string &name, const Value *out,
         if (v->isConstant() || v->isGlobal())
             continue;
         if (v->isArgument()) {
-            if (std::find(invariants.begin(), invariants.end(), v) ==
-                invariants.end()) {
-                invariants.push_back(v);
+            if (std::find(slice.invariants.begin(),
+                          slice.invariants.end(),
+                          v) == slice.invariants.end()) {
+                slice.invariants.push_back(v);
             }
             continue;
         }
@@ -72,9 +74,10 @@ extractKernel(Module &module, const std::string &name, const Value *out,
             // Loop invariant: must be available at the call site.
             if (!dom.dominates(inst, call_point))
                 return std::nullopt;
-            if (std::find(invariants.begin(), invariants.end(), v) ==
-                invariants.end()) {
-                invariants.push_back(v);
+            if (std::find(slice.invariants.begin(),
+                          slice.invariants.end(),
+                          v) == slice.invariants.end()) {
+                slice.invariants.push_back(v);
             }
             continue;
         }
@@ -85,25 +88,43 @@ extractKernel(Module &module, const std::string &name, const Value *out,
                 stack.push_back(op);
         }
     }
+    return slice;
+}
 
-    // Build the new function.
+Function *
+materializeKernel(Module &module, const std::string &name,
+                  const KernelSlice &slice,
+                  const std::map<const Value *, Value *> *remap)
+{
     std::vector<Type *> params;
-    for (const Value *v : inputs)
+    for (const Value *v : slice.inputs)
         params.push_back(v->type());
-    for (const Value *v : invariants)
+    for (const Value *v : slice.invariants)
         params.push_back(v->type());
-    Function *func =
-        module.createFunction(name, out->type(), std::move(params));
+    Function *func = module.createFunction(name, slice.out->type(),
+                                           std::move(params));
     ir::BasicBlock *entry = func->createBlock("entry");
 
     std::map<const Value *, Value *> mapping;
-    for (size_t i = 0; i < inputs.size(); ++i) {
-        mapping[inputs[i]] = func->arg(i);
+    // A slice value rewired by an earlier commit (remap) must reach
+    // the same parameter through either pointer: region instructions
+    // may still hold the planned value or already the substitute.
+    auto map_param = [&](const Value *v, Value *arg) {
+        mapping[v] = arg;
+        if (remap) {
+            auto it = remap->find(v);
+            if (it != remap->end())
+                mapping[it->second] = arg;
+        }
+    };
+    for (size_t i = 0; i < slice.inputs.size(); ++i) {
+        map_param(slice.inputs[i], func->arg(i));
         func->arg(i)->setName("in" + std::to_string(i));
     }
-    for (size_t i = 0; i < invariants.size(); ++i) {
-        mapping[invariants[i]] = func->arg(inputs.size() + i);
-        func->arg(inputs.size() + i)
+    for (size_t i = 0; i < slice.invariants.size(); ++i) {
+        map_param(slice.invariants[i],
+                  func->arg(slice.inputs.size() + i));
+        func->arg(slice.inputs.size() + i)
             ->setName("param" + std::to_string(i));
     }
 
@@ -134,15 +155,27 @@ extractKernel(Module &module, const std::string &name, const Value *out,
         return placed;
     };
 
-    Value *result = clone(out);
+    Value *result = clone(slice.out);
     auto ret = std::make_unique<Instruction>(
         Opcode::Ret, module.types().voidTy(), "");
     ret->addOperand(result);
     entry->append(std::move(ret));
+    return func;
+}
 
+std::optional<ExtractedKernel>
+extractKernel(Module &module, const std::string &name, const Value *out,
+              const Instruction *region_begin,
+              const std::vector<const Value *> &inputs,
+              const DomTree &dom, const Instruction *call_point)
+{
+    auto slice =
+        planKernelSlice(out, region_begin, inputs, dom, call_point);
+    if (!slice)
+        return std::nullopt;
     ExtractedKernel extracted;
-    extracted.func = func;
-    extracted.invariants = invariants;
+    extracted.func = materializeKernel(module, name, *slice);
+    extracted.invariants = slice->invariants;
     return extracted;
 }
 

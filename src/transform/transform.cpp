@@ -5,9 +5,12 @@
 #include "analysis/function_analyses.h"
 #include "frontend/passes.h"
 #include "transform/extract.h"
+#include "transform/loop_shape.h"
+#include "transform/rewrite.h"
 
 namespace repro::transform {
 
+using namespace detail;
 using analysis::DomTree;
 using analysis::LoopInfo;
 using ir::BasicBlock;
@@ -19,298 +22,46 @@ using ir::Type;
 using ir::Value;
 using solver::Solution;
 
-namespace {
-
-Instruction *
-asInst(const Value *v)
+Transformer::Transformer(ir::Module &module)
+    : module_(module), engine_(std::make_unique<RewriteEngine>(module))
 {
-    if (!v || !v->isInstruction())
-        return nullptr;
-    return const_cast<Instruction *>(
-        static_cast<const Instruction *>(v));
 }
 
-Value *
-asValue(const Value *v)
-{
-    return const_cast<Value *>(v);
-}
-
-/** The loop skeleton bound by a For solution under @p prefix. */
-struct LoopShape
-{
-    Instruction *precursor = nullptr;
-    Instruction *comparison = nullptr;
-    Instruction *iterator = nullptr;
-    Instruction *successor = nullptr;
-    Instruction *bodyBegin = nullptr;
-    Instruction *latch = nullptr;
-    Value *iterBegin = nullptr;
-    Value *iterEnd = nullptr;
-
-    bool
-    complete() const
-    {
-        return precursor && comparison && iterator && successor &&
-               bodyBegin && latch && iterBegin && iterEnd;
-    }
-
-    BasicBlock *header() const { return comparison->parent(); }
-    BasicBlock *exitBlock() const { return successor->parent(); }
-};
-
-LoopShape
-loopFromSolution(const Solution &sol, const std::string &prefix)
-{
-    LoopShape shape;
-    shape.precursor = asInst(sol.lookup(prefix + "precursor"));
-    shape.comparison = asInst(sol.lookup(prefix + "comparison"));
-    shape.iterator = asInst(sol.lookup(prefix + "iterator"));
-    shape.successor = asInst(sol.lookup(prefix + "successor"));
-    shape.bodyBegin = asInst(sol.lookup(prefix + "body_begin"));
-    shape.latch = asInst(sol.lookup(prefix + "latch"));
-    shape.iterBegin = asValue(sol.lookup(prefix + "iter_begin"));
-    shape.iterEnd = asValue(sol.lookup(prefix + "iter_end"));
-    return shape;
-}
-
-/** Inserts instructions into a trampoline block before its branch. */
-class Inserter
-{
-  public:
-    Inserter(Module &module, BasicBlock *bb)
-        : module_(module), bb_(bb)
-    {}
-
-    Instruction *
-    add(std::unique_ptr<Instruction> inst)
-    {
-        size_t pos = bb_->terminator() ? bb_->size() - 1 : bb_->size();
-        return bb_->insert(pos, std::move(inst));
-    }
-
-    /** Sign-extend to i64 when needed. */
-    Value *
-    toI64(Value *v)
-    {
-        Type *i64 = module_.types().i64Ty();
-        if (v->type() == i64)
-            return v;
-        if (v->isConstant()) {
-            return module_.intConst(
-                i64, static_cast<ir::Constant *>(v)->intValue());
-        }
-        auto sext = std::make_unique<Instruction>(Opcode::SExt, i64,
-                                                  "");
-        sext->addOperand(v);
-        return add(std::move(sext));
-    }
-
-    /** Decay pointer-to-array values to element pointers via gep. */
-    Value *
-    decay(Value *v)
-    {
-        while (v->type()->isPointer() &&
-               v->type()->element()->isArray()) {
-            Type *arr = v->type()->element();
-            auto gep = std::make_unique<Instruction>(
-                Opcode::GEP,
-                module_.types().pointerTo(arr->element()), "");
-            gep->setAccessType(arr);
-            gep->addOperand(v);
-            gep->addOperand(module_.intConst(module_.types().i64Ty(),
-                                             0));
-            gep->addOperand(module_.intConst(module_.types().i64Ty(),
-                                             0));
-            v = add(std::move(gep));
-        }
-        return v;
-    }
-
-    Instruction *
-    call(Function *callee, const std::vector<Value *> &args)
-    {
-        auto inst = std::make_unique<Instruction>(
-            Opcode::Call, callee->returnType(), "");
-        inst->setCallee(callee);
-        for (Value *a : args)
-            inst->addOperand(a);
-        return add(std::move(inst));
-    }
-
-  private:
-    Module &module_;
-    BasicBlock *bb_;
-};
-
-/**
- * Create a trampoline block that will hold the API call, rewire the
- * loop-entering branch through it to the loop exit, and return the
- * trampoline. Returns null when the surgery preconditions fail.
- */
-BasicBlock *
-bypassLoop(Module &module, const LoopShape &loop)
-{
-    BasicBlock *header = loop.header();
-    BasicBlock *exit = loop.exitBlock();
-    Function *func = header->parent();
-
-    // The exit must have no phis (single predecessor loops never do).
-    if (!exit->empty() && exit->front()->is(Opcode::Phi))
-        return nullptr;
-
-    BasicBlock *tramp =
-        func->createBlock(func->uniqueName("hetero.call"));
-    auto br = std::make_unique<Instruction>(
-        Opcode::Br, module.types().voidTy(), "");
-    br->addBlockTarget(exit);
-    tramp->append(std::move(br));
-
-    bool retargeted = false;
-    for (size_t i = 0; i < loop.precursor->blockTargets().size(); ++i) {
-        if (loop.precursor->blockTargets()[i] == header) {
-            loop.precursor->setBlockTarget(i, tramp);
-            retargeted = true;
-        }
-    }
-    if (!retargeted)
-        return nullptr;
-    return tramp;
-}
-
-/** Blocks of the natural loop headed by @p shape's header. */
-const analysis::Loop *
-findLoop(const LoopInfo &loops, const LoopShape &shape)
-{
-    for (const auto &loop : loops.loops()) {
-        if (loop->header == shape.header())
-            return loop.get();
-    }
-    return nullptr;
-}
-
-/**
- * Verify that no value defined inside the loop is used outside it
- * (the @p allowed value — a reduction result — excepted).
- */
-bool
-loopIsSelfContained(const analysis::Loop &loop, const Value *allowed)
-{
-    for (BasicBlock *bb : loop.blocks) {
-        for (const auto &inst : bb->insts()) {
-            if (inst.get() == allowed)
-                continue;
-            for (const Instruction *user : inst->users()) {
-                if (!loop.contains(user->parent()))
-                    return false;
-            }
-        }
-    }
-    return true;
-}
-
-/**
- * Removing the loop must remove no observable effect beyond the
- * idiom: every store must be in @p allowed_stores, and calls — whose
- * originals die with the loop — may only be pure builtins (extracted
- * kernels re-create them).
- */
-bool
-loopEffectsAreCovered(const analysis::Loop &loop,
-                      const std::set<const Value *> &allowed_stores,
-                      bool allow_builtin_calls)
-{
-    for (BasicBlock *bb : loop.blocks) {
-        for (const auto &inst : bb->insts()) {
-            if (inst->is(Opcode::Store) &&
-                !allowed_stores.count(inst.get())) {
-                return false;
-            }
-            if (inst->is(Opcode::Call)) {
-                if (!allow_builtin_calls ||
-                    !inst->callee()->isDeclaration()) {
-                    return false;
-                }
-            }
-            if (inst->is(Opcode::Alloca))
-                return false;
-        }
-    }
-    return true;
-}
-
-/**
- * Structural equality of pure address computations: the same gep
- * expression recomputed at two program points (codegen does not CSE).
- */
-bool
-structurallyEqual(const Value *a, const Value *b, int depth = 8)
-{
-    if (a == b)
-        return true;
-    if (depth == 0 || !a || !b || !a->isInstruction() ||
-        !b->isInstruction()) {
-        return false;
-    }
-    const auto *ia = static_cast<const Instruction *>(a);
-    const auto *ib = static_cast<const Instruction *>(b);
-    switch (ia->opcode()) {
-      case Opcode::GEP:
-      case Opcode::SExt:
-      case Opcode::Add:
-      case Opcode::Sub:
-      case Opcode::Mul:
-        break;
-      default:
-        return false;
-    }
-    if (ia->opcode() != ib->opcode() ||
-        ia->numOperands() != ib->numOperands() ||
-        ia->accessType() != ib->accessType()) {
-        return false;
-    }
-    for (size_t i = 0; i < ia->numOperands(); ++i) {
-        if (!structurallyEqual(ia->operand(i), ib->operand(i),
-                               depth - 1)) {
-            return false;
-        }
-    }
-    return true;
-}
-
-const Value *
-stripSext(const Value *v)
-{
-    while (v && v->isInstruction()) {
-        const auto *inst = static_cast<const Instruction *>(v);
-        if (!inst->is(Opcode::SExt))
-            break;
-        v = inst->operand(0);
-    }
-    return v;
-}
-
-/** Element type behind a pointer-ish base value. */
-Type *
-pointeeElement(const Value *base)
-{
-    Type *t = base->type();
-    if (!t->isPointer())
-        return nullptr;
-    t = t->element();
-    while (t->isArray())
-        t = t->element();
-    return t;
-}
-
-} // namespace
+Transformer::~Transformer() = default;
 
 std::vector<Replacement>
 Transformer::applyAll(const std::vector<idioms::IdiomMatch> &matches)
 {
+    std::vector<Replacement> out = engine_->applyAll(matches);
+    done_.insert(done_.end(), out.begin(), out.end());
+    return out;
+}
+
+std::optional<Replacement>
+Transformer::apply(const idioms::IdiomMatch &match)
+{
+    std::vector<Replacement> out = engine_->applyAll({match});
+    if (out.empty())
+        return std::nullopt;
+    done_.push_back(out.front());
+    return out.front();
+}
+
+// ------------------------------------------------- legacy reference path
+//
+// The pre-engine implementation, byte-for-byte: apply one match at a
+// time and run cleanup passes immediately after each replacement.
+// Solutions of later matches may dangle into IR this cleanup erased —
+// that is exactly the bug class the RewriteEngine exists to fix — so
+// this path is only safe on match sets known to be disjoint.
+
+std::vector<Replacement>
+Transformer::applyAllReference(
+    const std::vector<idioms::IdiomMatch> &matches)
+{
     std::vector<Replacement> out;
     for (const auto &m : matches) {
-        auto r = apply(m);
+        auto r = applyReference(m);
         if (r)
             out.push_back(*r);
     }
@@ -318,7 +69,7 @@ Transformer::applyAll(const std::vector<idioms::IdiomMatch> &matches)
 }
 
 std::optional<Replacement>
-Transformer::apply(const idioms::IdiomMatch &match)
+Transformer::applyReference(const idioms::IdiomMatch &match)
 {
     std::optional<Replacement> result;
     if (match.idiom == "SPMV")

@@ -41,6 +41,56 @@ TEST(IdlParser, RejectsMixedAndOr)
     EXPECT_TRUE(diags.hasErrors());
 }
 
+TEST(IdlParser, NestedBraceInVariableIsDiagnosed)
+{
+    DiagEngine diags;
+    auto p = idl::parseIdl(
+        "Constraint T ( {a {b} is add instruction ) End", diags);
+    EXPECT_EQ(p, nullptr);
+    ASSERT_TRUE(diags.hasErrors());
+    const auto &d = diags.all().front();
+    EXPECT_NE(d.message.find("nested '{'"), std::string::npos)
+        << d.message;
+    // The diagnostic points at the nested '{', not the opening one.
+    EXPECT_EQ(d.loc.line, 1);
+    EXPECT_EQ(d.loc.column, 19);
+}
+
+TEST(IdlParser, NestedBraceSpanningLinesKeepsSourceLoc)
+{
+    DiagEngine diags;
+    auto p = idl::parseIdl("Constraint T\n( {a\nnested {b} "
+                           "is add instruction ) End\n",
+                           diags);
+    EXPECT_EQ(p, nullptr);
+    ASSERT_TRUE(diags.hasErrors());
+    const auto &d = diags.all().front();
+    EXPECT_NE(d.message.find("nested '{'"), std::string::npos)
+        << d.message;
+    // The brace variable opened at 2:3; the nested '{' sits on the
+    // next line at column 8 — the lexer must track the newline.
+    EXPECT_EQ(d.loc.line, 3);
+    EXPECT_EQ(d.loc.column, 8);
+    EXPECT_NE(d.message.find("2:3"), std::string::npos) << d.message;
+    // Recovery: exactly one diagnostic per malformed brace.
+    EXPECT_EQ(diags.numErrors(), 1);
+}
+
+TEST(IdlParser, UnterminatedBraceSpanningLinesIsDiagnosed)
+{
+    DiagEngine diags;
+    auto p = idl::parseIdl("Constraint T\n( {a\nb c d\n", diags);
+    EXPECT_EQ(p, nullptr);
+    ASSERT_TRUE(diags.hasErrors());
+    const auto &d = diags.all().front();
+    EXPECT_NE(d.message.find("unterminated"), std::string::npos)
+        << d.message;
+    // Reported at the opening '{' (line 2, column 3), however many
+    // lines the scan consumed before hitting end of input.
+    EXPECT_EQ(d.loc.line, 2);
+    EXPECT_EQ(d.loc.column, 3);
+}
+
 TEST(IdlParser, AcceptsComments)
 {
     DiagEngine diags;

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include "benchmarks/suite.h"
 #include "frontend/compiler.h"
 #include "idioms/library.h"
 #include "interp/builtins.h"
@@ -254,4 +255,75 @@ TEST(Transform, Stencil3dMatchesSequential)
     auto acc = run(true);
     for (size_t i = 0; i < seq.size(); ++i)
         EXPECT_DOUBLE_EQ(seq[i], acc[i]) << "cell " << i;
+}
+
+// Table-driven differential sweep: on every Table 1 suite program the
+// transactional engine (applyAll) and the legacy per-match path
+// (applyAllReference) must produce byte-identical modules and
+// replacement metadata — and the corpus idiom counts must stay at the
+// paper's 45/5/6/1/3.
+TEST(Transform, EngineMatchesReferenceOnTable1Suite)
+{
+    int sr = 0, histos = 0, stencils = 0, matrix = 0, sparse = 0;
+    for (const auto &b : benchmarks::nasParboilSuite()) {
+        ir::Module ref_module, eng_module;
+        frontend::compileMiniCOrDie(b.source, ref_module);
+        frontend::compileMiniCOrDie(b.source, eng_module);
+        idioms::IdiomDetector ref_det, eng_det;
+        auto ref_matches = ref_det.detectModule(ref_module);
+        auto eng_matches = eng_det.detectModule(eng_module);
+        ASSERT_EQ(ref_matches.size(), eng_matches.size()) << b.name;
+        for (const auto &m : eng_matches) {
+            switch (m.cls) {
+              case idioms::IdiomClass::ScalarReduction: ++sr; break;
+              case idioms::IdiomClass::HistogramReduction:
+                ++histos;
+                break;
+              case idioms::IdiomClass::Stencil: ++stencils; break;
+              case idioms::IdiomClass::MatrixOp: ++matrix; break;
+              case idioms::IdiomClass::SparseMatrixOp: ++sparse; break;
+              default: break;
+            }
+        }
+
+        transform::Transformer ref_tr(ref_module);
+        auto ref_reps = ref_tr.applyAllReference(ref_matches);
+        transform::Transformer eng_tr(eng_module);
+        auto eng_reps = eng_tr.applyAll(eng_matches);
+
+        ASSERT_EQ(ref_reps.size(), eng_reps.size()) << b.name;
+        for (size_t i = 0; i < ref_reps.size(); ++i) {
+            const auto &r = ref_reps[i];
+            const auto &e = eng_reps[i];
+            EXPECT_EQ(r.kind, e.kind) << b.name;
+            EXPECT_EQ(r.calleeName, e.calleeName) << b.name;
+            EXPECT_EQ(r.kernel != nullptr, e.kernel != nullptr)
+                << b.name;
+            if (r.kernel && e.kernel)
+                EXPECT_EQ(r.kernel->name(), e.kernel->name());
+            EXPECT_EQ(r.indexKernel != nullptr,
+                      e.indexKernel != nullptr)
+                << b.name;
+            EXPECT_EQ(r.numReads, e.numReads) << b.name;
+            EXPECT_EQ(r.numInvariants, e.numInvariants) << b.name;
+            EXPECT_EQ(r.numIndexInvariants, e.numIndexInvariants)
+                << b.name;
+            EXPECT_EQ(r.readKinds, e.readKinds) << b.name;
+            EXPECT_EQ(r.readOffsets, e.readOffsets) << b.name;
+            EXPECT_EQ(r.stencilDims, e.stencilDims) << b.name;
+            EXPECT_EQ(r.elemKind, e.elemKind) << b.name;
+        }
+        EXPECT_EQ(ir::printModule(ref_module),
+                  ir::printModule(eng_module))
+            << b.name;
+        auto ref_problems = ir::verifyModule(ref_module);
+        auto eng_problems = ir::verifyModule(eng_module);
+        EXPECT_TRUE(ref_problems.empty()) << b.name;
+        EXPECT_TRUE(eng_problems.empty()) << b.name;
+    }
+    EXPECT_EQ(sr, 45);
+    EXPECT_EQ(histos, 5);
+    EXPECT_EQ(stencils, 6);
+    EXPECT_EQ(matrix, 1);
+    EXPECT_EQ(sparse, 3);
 }
