@@ -1,0 +1,209 @@
+/**
+ * @file
+ * A scripted client session against the matching service: start the
+ * daemon's socket front in-process on a unix socket, connect as an
+ * ordinary socket client, and drive an edit session through the line
+ * protocol (docs/SERVICE.md) — exactly what an editor integration or
+ * build-system hook would do against a long-running repro_serviced.
+ *
+ * The session submits a module, resubmits it unchanged (every
+ * function replays from the cache), then submits an edited version
+ * (only the edited function re-solves). Exits non-zero if any
+ * response deviates from the protocol contract, so the build treats
+ * this example as a service smoke test.
+ */
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/server.h"
+#include "service/service.h"
+
+using namespace repro;
+
+namespace {
+
+/** The client's module; @p bound is the constant an "edit" changes. */
+std::string
+moduleSource(int bound)
+{
+    std::ostringstream os;
+    os << "void reduce(double *a, double *out) {\n"
+          "    double s = 0.0;\n"
+          "    for (int i = 0; i < " << bound << "; i++)\n"
+          "        s = s + a[i];\n"
+          "    out[0] = s;\n"
+          "}\n"
+          "void histogram(int *keys, int *bins) {\n"
+          "    for (int i = 0; i < 64; i++)\n"
+          "        bins[keys[i]] = bins[keys[i]] + 1;\n"
+          "}\n";
+    return os.str();
+}
+
+/** Blocking unix-socket line-protocol client. */
+class Client
+{
+  public:
+    explicit Client(const std::string &path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (fd_ >= 0 &&
+            ::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool connected() const { return fd_ >= 0; }
+
+    bool
+    send(const std::string &data)
+    {
+        size_t sent = 0;
+        while (sent < data.size()) {
+            ssize_t n = ::write(fd_, data.data() + sent,
+                                data.size() - sent);
+            if (n <= 0)
+                return false;
+            sent += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** One response line (responses are newline-delimited). */
+    std::string
+    readLine()
+    {
+        std::string line;
+        char c;
+        while (::read(fd_, &c, 1) == 1) {
+            if (c == '\n')
+                break;
+            line.push_back(c);
+        }
+        return line;
+    }
+
+    /** A full SUBMIT/MATCHES response: OK/ERR line through END. */
+    std::string
+    readResponse()
+    {
+        std::string all;
+        for (;;) {
+            std::string line = readLine();
+            all += line;
+            all += '\n';
+            if (line == "END" || line.rfind("ERR", 0) == 0 ||
+                line.empty())
+                return all;
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+bool
+expectContains(const std::string &response, const std::string &needle,
+               const char *what)
+{
+    if (response.find(needle) != std::string::npos)
+        return true;
+    std::fprintf(stderr, "FAIL: %s — expected \"%s\" in:\n%s\n", what,
+                 needle.c_str(), response.c_str());
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::string socketPath =
+        "/tmp/repro_service_example_" + std::to_string(::getpid()) +
+        ".sock";
+
+    // The daemon, in-process: one shared cache behind a socket front.
+    service::MatchService svc;
+    service::ServerOptions serverOpts;
+    serverOpts.unixPath = socketPath;
+    service::SocketServer server(svc, serverOpts);
+    server.start();
+
+    bool ok = true;
+    {
+        Client client(socketPath);
+        if (!client.connected()) {
+            std::fprintf(stderr, "FAIL: connect(%s)\n",
+                         socketPath.c_str());
+            server.stop();
+            return 1;
+        }
+
+        client.send("HELLO\n");
+        std::string hello = client.readLine();
+        std::printf("<- %s\n", hello.c_str());
+        ok &= expectContains(hello, "OK service=repro-match",
+                             "HELLO");
+
+        // Cold submit: both functions are solved.
+        const std::string v1 = moduleSource(100);
+        client.send("SUBMIT editor_buffer " +
+                    std::to_string(v1.size()) + "\n" + v1);
+        std::string cold = client.readResponse();
+        std::printf("cold submit:\n%s", cold.c_str());
+        ok &= expectContains(cold, "hits=0 misses=2", "cold submit");
+        ok &= expectContains(cold, "source=solve", "cold submit");
+
+        // Unchanged resubmit: both replay from the cache.
+        client.send("SUBMIT editor_buffer " +
+                    std::to_string(v1.size()) + "\n" + v1);
+        std::string warm = client.readResponse();
+        std::printf("warm resubmit:\n%s", warm.c_str());
+        ok &= expectContains(warm, "hits=2 misses=0",
+                             "warm resubmit");
+        ok &= expectContains(warm, "source=cache", "warm resubmit");
+
+        // Edit reduce's loop bound: it re-solves, histogram replays.
+        const std::string v2 = moduleSource(200);
+        client.send("SUBMIT editor_buffer " +
+                    std::to_string(v2.size()) + "\n" + v2);
+        std::string edited = client.readResponse();
+        std::printf("edited resubmit:\n%s", edited.c_str());
+        ok &= expectContains(edited, "hits=1 misses=1",
+                             "edited resubmit");
+        ok &= expectContains(edited, "idiom=Reduction",
+                             "edited resubmit");
+
+        client.send("STATS\n");
+        std::string stats = client.readLine();
+        std::printf("<- %s\n", stats.c_str());
+        ok &= expectContains(stats, "sessions=1", "STATS");
+
+        client.send("QUIT\n");
+        std::printf("<- %s\n", client.readLine().c_str());
+    }
+
+    server.stop();
+    if (!ok)
+        return 1;
+    std::printf("service client session OK\n");
+    return 0;
+}

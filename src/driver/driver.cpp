@@ -134,10 +134,26 @@ MatchingDriver::matchModule(ir::Module &module)
             continue;
         FunctionReport fr;
         fr.function = f.get();
-        idioms::IdiomDetector detector(opts_.limits);
-        fr.matches = detector.detect(f.get(), analysesFor(f.get()));
-        fr.stats = detector.stats();
-        accumulate(fr.stats);
+        bool replayed = false;
+        if (opts_.cache) {
+            fr.contentHash = f->contentHash();
+            replayed = tryReplay(f.get(), &fr);
+            replayed ? ++report.cacheHits : ++report.cacheMisses;
+        }
+        if (!replayed) {
+            idioms::IdiomDetector detector(opts_.limits);
+            fr.matches =
+                detector.detect(f.get(), analysesFor(f.get()));
+            fr.stats = detector.stats();
+            accumulate(fr.stats);
+            if (opts_.cache) {
+                auto it = cache_.find(f.get());
+                storeSolveResult(f.get(), fr,
+                                 it != cache_.end()
+                                     ? it->second.analyses
+                                     : nullptr);
+            }
+        }
         report.totals += fr.stats;
         report.functions.push_back(std::move(fr));
     }
@@ -164,16 +180,31 @@ MatchingDriver::matchShards(
     std::vector<solver::SolveStats> workerStats(numThreads);
     runSharded(items.size(), numThreads, [&](size_t i, unsigned w) {
         ir::Function *func = items[i].first;
+        FunctionReport fr;
+        fr.function = func;
+        // Cross-request cache consults are the only shared state on
+        // the worker path; the MatchCache is internally mutex-guarded
+        // and replays never touch analyses at all.
+        if (opts_.cache) {
+            fr.contentHash = func->contentHash();
+            if (tryReplay(func, &fr)) {
+                *items[i].second = std::move(fr);
+                return;
+            }
+        }
         // Worker-owned analyses (each function is exactly one shard):
         // no sharing with other workers or with the driver's serial
         // cache_, hence no locks on the matching hot path.
         analysis::FunctionAnalyses fa(func);
         idioms::IdiomDetector detector(opts_.limits);
-        FunctionReport fr;
-        fr.function = func;
         fr.matches = detector.detect(func, fa);
         fr.stats = detector.stats();
         workerStats[w] += fr.stats;
+        if (opts_.cache) {
+            // The worker's analyses are stack-owned and die with the
+            // shard; only the portable matches are stored.
+            storeSolveResult(func, fr, nullptr);
+        }
         *items[i].second = std::move(fr);
     });
 
@@ -218,8 +249,13 @@ MatchingDriver::runParallelBatch(
     accumulate(matchShards(items, numThreads));
 
     for (size_t m = 0; m < modules.size(); ++m) {
-        for (const auto &fr : reports[m].functions)
+        for (const auto &fr : reports[m].functions) {
             reports[m].totals += fr.stats;
+            if (opts_.cache) {
+                fr.fromCache ? ++reports[m].cacheHits
+                             : ++reports[m].cacheMisses;
+            }
+        }
     }
     if (opts_.applyTransforms) {
         // The transform stage shards over modules on the same pool
@@ -442,7 +478,7 @@ MatchingDriver::verifyTransform(
     // The transformed program: match, rewrite, bind the native
     // skeletons, then execute by both engines.
     ir::Module transformed;
-    MatchingDriver local(DriverOptions{opts_.limits, true});
+    MatchingDriver local(DriverOptions{opts_.limits, true, nullptr});
     MatchReport report =
         local.compileAndMatch(program.source, transformed);
     v.matches = report.matchCount();
@@ -533,10 +569,29 @@ MatchingDriver::analysesFor(ir::Function *func)
         invalidateAll();
         module_ = func->parentModule();
     }
+    // Content-hash guard: a slot built for an earlier shape of this
+    // function (mutated in place, or rewritten by a pass that forgot
+    // to invalidate) must never serve stale dominators/loops/indices.
+    const uint64_t hash = func->contentHash();
     auto &slot = cache_[func];
-    if (!slot)
-        slot = std::make_unique<analysis::FunctionAnalyses>(func);
-    return *slot;
+    if (slot.analyses && slot.hash == hash)
+        return *slot.analyses;
+    slot.hash = hash;
+    if (opts_.cache) {
+        // A same-epoch deposit for this exact live function skips the
+        // rebuild (e.g. analyses built by an earlier request against
+        // the still-live module).
+        CacheKey key{hash, idioms::idiomSetHash()};
+        slot.analyses = opts_.cache->analysesFor(key, func, epoch_);
+        if (slot.analyses)
+            return *slot.analyses;
+        slot.analyses =
+            std::make_shared<analysis::FunctionAnalyses>(func);
+        opts_.cache->depositAnalyses(key, slot.analyses, func, epoch_);
+        return *slot.analyses;
+    }
+    slot.analyses = std::make_shared<analysis::FunctionAnalyses>(func);
+    return *slot.analyses;
 }
 
 void
@@ -550,6 +605,52 @@ MatchingDriver::invalidateAll()
 {
     cache_.clear();
     module_ = nullptr;
+    // New epoch: analyses deposited in the MatchCache under earlier
+    // epochs are unreachable from now on, even if a later module's
+    // function recycles an old address.
+    ++epoch_;
+}
+
+void
+MatchingDriver::attachCache(std::shared_ptr<MatchCache> cache)
+{
+    opts_.cache = std::move(cache);
+}
+
+bool
+MatchingDriver::tryReplay(ir::Function *func, FunctionReport *fr)
+{
+    CacheKey key{fr->contentHash, idioms::idiomSetHash()};
+    std::shared_ptr<const CachedMatches> entry =
+        opts_.cache->lookup(key);
+    if (entry &&
+        MatchCache::reanchor(entry->matches, func, &fr->matches)) {
+        fr->stats = entry->stats;
+        fr->fromCache = true;
+        opts_.cache->countHit();
+        return true;
+    }
+    opts_.cache->countMiss();
+    return false;
+}
+
+void
+MatchingDriver::storeSolveResult(
+    ir::Function *func, const FunctionReport &fr,
+    std::shared_ptr<analysis::FunctionAnalyses> analyses)
+{
+    CachedMatches entry;
+    if (!MatchCache::capture(fr.matches, func, &entry.matches))
+        return;
+    entry.stats = fr.stats;
+    if (analyses) {
+        entry.analyses = std::move(analyses);
+        entry.analysesOwner = func;
+        entry.analysesEpoch = epoch_;
+    }
+    opts_.cache->insert(CacheKey{fr.contentHash,
+                                 idioms::idiomSetHash()},
+                        std::move(entry));
 }
 
 void

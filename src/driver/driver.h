@@ -33,6 +33,7 @@
 
 #include "analysis/function_analyses.h"
 #include "benchmarks/suite.h"
+#include "driver/match_cache.h"
 #include "idioms/library.h"
 #include "solver/solver.h"
 #include "transform/transform.h"
@@ -50,6 +51,15 @@ struct DriverOptions
      * MatchReport.
      */
     bool applyTransforms = false;
+    /**
+     * Cross-request match cache shared between drivers, service
+     * sessions and worker threads (see driver/match_cache.h). When
+     * set, matchModule/runParallelBatch replay cached solve results
+     * for any function whose contentHash is already stored instead of
+     * re-solving it. Null (the default) preserves the pure batch
+     * pipeline byte for byte.
+     */
+    std::shared_ptr<MatchCache> cache;
 };
 
 /** Matches and solver effort of one function. */
@@ -57,8 +67,15 @@ struct FunctionReport
 {
     ir::Function *function = nullptr;
     std::vector<idioms::IdiomMatch> matches;
-    /** Solver effort spent on this function alone. */
+    /** Solver effort spent on this function alone. When the result
+     *  was replayed from the match cache these are the stats of the
+     *  original solve, so warm reports stay byte-identical to cold
+     *  ones. */
     solver::SolveStats stats;
+    /** Structural hash (only computed when a cache is attached). */
+    uint64_t contentHash = 0;
+    /** True when the result was replayed from the match cache. */
+    bool fromCache = false;
 };
 
 /**
@@ -74,8 +91,13 @@ struct MatchReport
     std::vector<FunctionReport> functions;
     /** Replacements performed (empty unless applyTransforms). */
     std::vector<transform::Replacement> replacements;
-    /** Solver effort summed over the whole batch. */
+    /** Solver effort summed over the whole batch (replayed functions
+     *  contribute their original solve's stats). */
     solver::SolveStats totals;
+    /** Functions replayed from / missed in the match cache. Both stay
+     *  zero when no cache is attached. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
 
     /** All matches flattened in module order. */
     std::vector<idioms::IdiomMatch> allMatches() const;
@@ -127,17 +149,34 @@ struct SolveOutcome
 };
 
 /**
- * The batched matching pipeline. One driver instance owns a
- * per-function analysis cache; reusing the instance across calls
- * reuses the analyses as long as the underlying functions are not
- * mutated (the transformation stage invalidates them itself).
+ * The matching pipeline, usable one-shot or as a long-lived session
+ * core. One driver instance owns a per-function analysis cache;
+ * reusing the instance across calls reuses the analyses as long as
+ * the underlying functions are not mutated. Entries are guarded by
+ * the function's contentHash(): a mutated (or recompiled-in-place)
+ * function is detected on the next analysesFor and its stale
+ * dominators/loops/CandidateIndex are rebuilt instead of served.
  *
- * The cache holds raw pointers into one module. compileAndMatch
- * starts every batch by dropping it, and analysesFor drops it when
- * handed a function of a different live module; but when a module is
- * destroyed and the driver then matches functions of a NEW module via
- * matchFunction/matchOne/solveProgram directly, call invalidateAll()
- * first — address recycling can defeat the pointer-identity guard.
+ * The analysis cache holds raw pointers into one module.
+ * compileAndMatch starts every batch by dropping it, and analysesFor
+ * drops it when handed a function of a different live module; but
+ * when a module is destroyed and the driver then matches functions of
+ * a NEW module via matchFunction/matchOne/solveProgram directly, call
+ * invalidateAll() first — address recycling can defeat the
+ * pointer-identity guard.
+ *
+ * With a MatchCache attached (DriverOptions::cache or attachCache),
+ * matchModule / runParallel / runParallelBatch become incremental
+ * across requests: each function's solve result is stored portably
+ * under (contentHash, idiomSetHash), and any later function hashing
+ * equal — the same function resubmitted, or the same body from
+ * another client — replays the stored matches re-anchored onto its
+ * own IR instead of re-solving. Replayed functions contribute their
+ * original SolveStats to the report (keeping warm reports
+ * byte-identical to cold ones) but not to totals(), which keeps
+ * counting real solver effort only. matchFunction/matchOne/
+ * solveProgram bypass the cache: their keys (single idiom, ad-hoc
+ * program) live outside the full-idiom-set key space.
  */
 class MatchingDriver
 {
@@ -262,13 +301,49 @@ class MatchingDriver
     /** Drop the entire analysis cache. */
     void invalidateAll();
 
-    /** Solver effort accumulated over the driver's lifetime. */
+    /** Solver effort accumulated over the driver's lifetime. Cache
+     *  replays do not count: this is real search work only. */
     const solver::SolveStats &totals() const { return totals_; }
 
     const DriverOptions &options() const { return opts_; }
 
+    /** Attach (or detach, with nullptr) the cross-request cache. */
+    void attachCache(std::shared_ptr<MatchCache> cache);
+
+    /** The attached cross-request cache; may be null. */
+    const std::shared_ptr<MatchCache> &matchCache() const
+    {
+        return opts_.cache;
+    }
+
+    /**
+     * Monotonic analysis epoch, bumped by every invalidateAll().
+     * Analyses deposited into the MatchCache are tagged with it so a
+     * recycled function address from a destroyed module can never
+     * revive another epoch's analyses.
+     */
+    uint64_t epoch() const { return epoch_; }
+
   private:
     void accumulate(const solver::SolveStats &delta);
+
+    /**
+     * Replay @p func's cached solve result into @p fr if the attached
+     * cache holds its (contentHash, idiomSetHash) key and the entry
+     * re-anchors cleanly. Counts the cache hit/miss. Requires
+     * fr->contentHash to be set.
+     */
+    bool tryReplay(ir::Function *func, FunctionReport *fr);
+
+    /**
+     * Store @p fr's freshly solved matches in the attached cache,
+     * depositing @p analyses (may be null) for same-epoch reuse.
+     * Functions whose bindings cannot be encoded portably are left
+     * uncached.
+     */
+    void storeSolveResult(
+        ir::Function *func, const FunctionReport &fr,
+        std::shared_ptr<analysis::FunctionAnalyses> analyses);
 
     /**
      * The parallel engine: drain (function, report slot) work items
@@ -280,12 +355,20 @@ class MatchingDriver
                                             FunctionReport *>> &items,
                 unsigned numThreads);
 
+    /** One analysis-cache slot, guarded by the content hash it was
+     *  built for. */
+    struct AnalysesSlot
+    {
+        uint64_t hash = 0;
+        std::shared_ptr<analysis::FunctionAnalyses> analyses;
+    };
+
     DriverOptions opts_;
     solver::SolveStats totals_;
     /** Module the cached analyses belong to. */
     const ir::Module *module_ = nullptr;
-    std::map<ir::Function *, std::unique_ptr<analysis::FunctionAnalyses>>
-        cache_;
+    std::map<ir::Function *, AnalysesSlot> cache_;
+    uint64_t epoch_ = 0;
 };
 
 } // namespace repro::driver

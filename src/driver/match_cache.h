@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Cross-request match cache: the store behind matching-as-a-service.
+ *
+ * One solve of one function against the idiom library is pure in
+ * exactly two inputs: the structure of the function body and the
+ * idiom set. The cache therefore keys entries by the pair
+ * (ir::Function::contentHash(), idioms::idiomSetHash()) — not by
+ * function name, module or address — so a resubmitted module pays
+ * solver time only for functions whose structure actually changed,
+ * and two clients submitting the same kernel share one entry.
+ *
+ * Solutions bind ir::Value pointers into one module's IR, which makes
+ * them worthless across requests (the submitting module is recompiled
+ * every time). Entries therefore store matches in a *portable*
+ * encoding: every bound value becomes a PortableValue naming its
+ * structural position (argument index, layout-order instruction
+ * index) or its module-independent identity (constant type + bit
+ * pattern, global/function name). Replaying an entry re-anchors those
+ * positions onto the fresh function's IR — which is guaranteed to be
+ * structurally identical because its content hash matched — and
+ * materializes ordinary IdiomMatch objects. Re-anchoring is validated
+ * by membership (every index in range, every name resolvable), the
+ * same no-deref discipline the transactional RewriteEngine applies to
+ * its plans; any failure falls back to a fresh solve.
+ *
+ * Entries also carry the function's SolveStats (so replayed reports
+ * are byte-identical to cold ones) and may hold the live
+ * FunctionAnalyses built during the solve. Analyses reference IR by
+ * address and cannot be transplanted; they are only handed back for
+ * the exact owner function within the driver epoch that deposited
+ * them (see MatchingDriver::analysesFor).
+ *
+ * Size-bounded: least-recently-used entries are evicted beyond
+ * capacity(). All operations are mutex-guarded, so parallel matching
+ * shards and concurrent service connections share one cache safely.
+ */
+#ifndef DRIVER_MATCH_CACHE_H
+#define DRIVER_MATCH_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/function_analyses.h"
+#include "idioms/library.h"
+#include "solver/solver.h"
+
+namespace repro::driver {
+
+/** Cache key: structural function identity × idiom-set identity. */
+struct CacheKey
+{
+    uint64_t contentHash = 0;
+    uint64_t idiomSetHash = 0;
+
+    bool
+    operator<(const CacheKey &o) const
+    {
+        return contentHash != o.contentHash
+                   ? contentHash < o.contentHash
+                   : idiomSetHash < o.idiomSetHash;
+    }
+};
+
+/** Module-independent encoding of one bound IR value. */
+struct PortableValue
+{
+    enum class Kind : uint8_t
+    {
+        Arg,      ///< argument, by index
+        Inst,     ///< instruction, by layout-order index
+        IntConst, ///< interned integer constant: type text + value
+        FPConst,  ///< interned fp constant: type text + bit pattern
+        Global,   ///< global variable, by name
+        Func,     ///< function reference, by name
+    };
+
+    Kind kind = Kind::Inst;
+    uint32_t index = 0;  ///< Arg / Inst position
+    int64_t bits = 0;    ///< constant payload (fp via bit pattern)
+    std::string text;    ///< constant type text, or global/func name
+};
+
+/** One match with its solution bindings in portable form. */
+struct PortableMatch
+{
+    std::string idiom;
+    idioms::IdiomClass cls = idioms::IdiomClass::Other;
+    /** (variable name, bound value), in Solution::bindings order. */
+    std::vector<std::pair<std::string, PortableValue>> bindings;
+};
+
+/** One cached per-function solve result. */
+struct CachedMatches
+{
+    std::vector<PortableMatch> matches;
+    /** Solver effort of the original solve, replayed into reports. */
+    solver::SolveStats stats;
+
+    /**
+     * Live analyses deposited by the solve that created the entry.
+     * Only valid for the exact owner function within the owner epoch;
+     * never dereference `analysesOwner` — compare it.
+     */
+    std::shared_ptr<analysis::FunctionAnalyses> analyses;
+    const ir::Function *analysesOwner = nullptr;
+    uint64_t analysesEpoch = 0;
+};
+
+/** Monotonic effectiveness counters (reported by STATS / benches). */
+struct CacheCounters
+{
+    uint64_t hits = 0;       ///< replays served from the cache
+    uint64_t misses = 0;     ///< solves that had to run
+    uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+    uint64_t insertions = 0; ///< entries stored
+};
+
+/** The size-bounded LRU store. */
+class MatchCache
+{
+  public:
+    explicit MatchCache(size_t capacity = kDefaultCapacity);
+
+    static constexpr size_t kDefaultCapacity = 1024;
+
+    /**
+     * Entry for @p key, or nullptr. Touches recency but not the
+     * hit/miss counters: the caller decides whether the entry was
+     * actually usable (re-anchoring can fail) and reports via
+     * countHit()/countMiss().
+     */
+    std::shared_ptr<const CachedMatches> lookup(const CacheKey &key);
+
+    /** Store (or refresh) the entry for @p key. */
+    void insert(const CacheKey &key, CachedMatches value);
+
+    /**
+     * Deposit live analyses into an existing entry so later requests
+     * for the same live function can skip rebuilding them. No-op when
+     * the key is absent (e.g. already evicted).
+     */
+    void depositAnalyses(
+        const CacheKey &key,
+        std::shared_ptr<analysis::FunctionAnalyses> analyses,
+        const ir::Function *owner, uint64_t epoch);
+
+    /**
+     * The deposited analyses of @p key, iff they were built for
+     * exactly @p owner during @p epoch; nullptr otherwise.
+     */
+    std::shared_ptr<analysis::FunctionAnalyses>
+    analysesFor(const CacheKey &key, const ir::Function *owner,
+                uint64_t epoch);
+
+    void countHit();
+    void countMiss();
+
+    /** Shrinking below size() evicts LRU entries immediately. */
+    void setCapacity(size_t capacity);
+    size_t capacity() const;
+    size_t size() const;
+
+    CacheCounters counters() const;
+    void resetCounters();
+
+    /** Drop every entry (counters survive; eviction count grows). */
+    void clear();
+
+    // Portable encoding ---------------------------------------------------
+
+    /**
+     * Encode @p matches of @p func portably. Returns false (leaving
+     * @p out unspecified) when any binding cannot be encoded — a
+     * value owned by another function has no stable position — in
+     * which case the function must not be cached.
+     */
+    static bool capture(const std::vector<idioms::IdiomMatch> &matches,
+                        const ir::Function *func,
+                        std::vector<PortableMatch> *out);
+
+    /**
+     * Re-anchor @p matches onto @p func, materializing solutions that
+     * bind @p func's own IR. Validation is by membership: every
+     * position must be in range and every name resolvable in @p
+     * func's module. Returns false (leaving @p out unspecified) on
+     * any failure; the caller falls back to a fresh solve.
+     */
+    static bool reanchor(const std::vector<PortableMatch> &matches,
+                         ir::Function *func,
+                         std::vector<idioms::IdiomMatch> *out);
+
+  private:
+    /** MRU-first entry list; the map indexes into it. */
+    using LruList =
+        std::list<std::pair<CacheKey, std::shared_ptr<CachedMatches>>>;
+
+    void evictOverCapacityLocked();
+
+    mutable std::mutex mutex_;
+    size_t capacity_;
+    LruList lru_;
+    std::map<CacheKey, LruList::iterator> index_;
+    CacheCounters counters_;
+};
+
+} // namespace repro::driver
+
+#endif // DRIVER_MATCH_CACHE_H

@@ -1,5 +1,6 @@
 #include "idioms/library.h"
 
+#include <cstdio>
 #include <set>
 
 #include "idl/lower.h"
@@ -525,8 +526,38 @@ idiomClassName(IdiomClass cls)
 std::string
 matchFingerprint(const IdiomMatch &match)
 {
-    return match.idiom + "|" + idiomClassName(match.cls) + "|" +
+    // Module name + content hash disambiguate same-named functions
+    // across modules and the same function across edits; without them
+    // any cross-module store keyed on fingerprints would collide.
+    const ir::Module *module = match.function->parentModule();
+    char hash[17];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      match.function->contentHash()));
+    return (module ? module->name() : std::string()) + "|" + hash +
+           "|" + match.idiom + "|" + idiomClassName(match.cls) + "|" +
            match.function->name() + "|" + match.solution.str();
+}
+
+uint64_t
+idiomSetHash()
+{
+    static const uint64_t hash = [] {
+        uint64_t h = 14695981039346656037ull;
+        auto mix = [&h](const std::string &s) {
+            for (char c : s) {
+                h ^= static_cast<uint8_t>(c);
+                h *= 1099511628211ull;
+            }
+            h ^= 0x7c;
+            h *= 1099511628211ull;
+        };
+        mix(idiomLibrarySource());
+        for (const auto &name : topLevelIdioms())
+            mix(name);
+        return h;
+    }();
+    return hash;
 }
 
 IdiomClass

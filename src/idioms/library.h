@@ -44,11 +44,24 @@ struct IdiomMatch
 };
 
 /**
- * Stable serialization of a match's full identity (idiom, class,
- * function name, every solution binding) — the comparison key the
- * serial-vs-parallel equivalence tests, benches and examples share.
+ * Stable serialization of a match's full identity — the comparison
+ * key the serial-vs-parallel equivalence tests, benches and examples
+ * share, and the identity matches carry into cross-module stores. It
+ * embeds the owning module's name and the function's structural
+ * contentHash() next to the idiom, class, function name and every
+ * solution binding, so two modules with a same-named function (or the
+ * same function before and after an edit) never collide.
  */
 std::string matchFingerprint(const IdiomMatch &match);
+
+/**
+ * Stable hash of the idiom set the detector searches: the full IDL
+ * library source plus the ordered top-level idiom list. Any library
+ * edit, idiom addition or reordering changes it, invalidating every
+ * cross-request cache entry keyed on (function contentHash,
+ * idiomSetHash) — see driver/match_cache.h.
+ */
+uint64_t idiomSetHash();
 
 /** Source text of the complete IDL idiom library. */
 const std::string &idiomLibrarySource();

@@ -1,7 +1,9 @@
 #include "ir/function.h"
 
+#include <cstring>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "support/diagnostics.h"
 
@@ -88,6 +90,164 @@ Function::renumber()
         }
     }
     return values;
+}
+
+namespace {
+
+/** FNV-1a accumulator behind Function::contentHash(). */
+struct ContentHasher
+{
+    uint64_t h = 14695981039346656037ull;
+
+    void
+    mixByte(uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            mixByte(static_cast<uint8_t>(v & 0xff));
+            v >>= 8;
+        }
+    }
+
+    void
+    mix(const std::string &s)
+    {
+        mix(s.size());
+        for (char c : s)
+            mixByte(static_cast<uint8_t>(c));
+    }
+
+    /**
+     * Structural type mix: kinds and shapes only, never Type
+     * addresses, so functions of different modules (whose
+     * TypeContexts intern separately) hash alike.
+     */
+    void
+    mixType(const Type *t)
+    {
+        if (!t) {
+            mix(uint64_t(0xff));
+            return;
+        }
+        mix(static_cast<uint64_t>(t->kind()));
+        switch (t->kind()) {
+          case Type::Kind::Pointer:
+            mixType(t->element());
+            break;
+          case Type::Kind::Array:
+            mixType(t->element());
+            mix(t->arraySize());
+            break;
+          case Type::Kind::Function:
+            mixType(t->returnType());
+            mix(t->params().size());
+            for (Type *p : t->params())
+                mixType(p);
+            break;
+          default:
+            break;
+        }
+    }
+};
+
+} // namespace
+
+uint64_t
+Function::contentHash() const
+{
+    ContentHasher hasher;
+
+    // Dense positional identities for every locally defined value and
+    // block; forward references (phis) resolve because the maps are
+    // built before any operand is visited.
+    std::unordered_map<const Value *, uint32_t> local;
+    std::unordered_map<const BasicBlock *, uint32_t> blockIdx;
+    uint32_t next = 0;
+    for (const auto &a : args_)
+        local.emplace(a.get(), next++);
+    for (const auto &bb : blocks_) {
+        blockIdx.emplace(bb.get(),
+                         static_cast<uint32_t>(blockIdx.size()));
+        for (const auto &inst : bb->insts())
+            local.emplace(inst.get(), next++);
+    }
+
+    hasher.mix(args_.size());
+    for (const auto &a : args_)
+        hasher.mixType(a->type());
+    hasher.mixType(returnType());
+
+    hasher.mix(blocks_.size());
+    for (const auto &bb : blocks_) {
+        hasher.mix(bb->size());
+        for (const auto &inst : bb->insts()) {
+            hasher.mix(static_cast<uint64_t>(inst->opcode()));
+            hasher.mixType(inst->type());
+            if (inst->is(Opcode::ICmp) || inst->is(Opcode::FCmp))
+                hasher.mix(static_cast<uint64_t>(inst->cmpPred()));
+            if (inst->accessType())
+                hasher.mixType(inst->accessType());
+            if (inst->callee())
+                hasher.mix(inst->callee()->name());
+
+            hasher.mix(inst->numOperands());
+            for (const Value *op : inst->operands()) {
+                auto it = local.find(op);
+                if (it != local.end()) {
+                    hasher.mix(uint64_t(0x10));
+                    hasher.mix(it->second);
+                    continue;
+                }
+                switch (op->kind()) {
+                  case ValueKind::Constant: {
+                    const auto *c = static_cast<const Constant *>(op);
+                    hasher.mix(c->isFP() ? uint64_t(0xC1)
+                                         : uint64_t(0xC0));
+                    hasher.mixType(c->type());
+                    uint64_t bits;
+                    if (c->isFP()) {
+                        double d = c->fpValue();
+                        std::memcpy(&bits, &d, sizeof(bits));
+                    } else {
+                        bits = static_cast<uint64_t>(c->intValue());
+                    }
+                    hasher.mix(bits);
+                    break;
+                  }
+                  case ValueKind::GlobalVariable:
+                    hasher.mix(uint64_t(0x60));
+                    hasher.mix(op->name());
+                    break;
+                  case ValueKind::FunctionRef:
+                    hasher.mix(uint64_t(0xF0));
+                    hasher.mix(op->name());
+                    break;
+                  default:
+                    // A value defined in another function: no stable
+                    // positional identity exists, but the edge itself
+                    // must still perturb the hash.
+                    hasher.mix(uint64_t(0xEE));
+                    hasher.mix(op->name());
+                    break;
+                }
+            }
+
+            const auto &targets = inst->blockTargets();
+            hasher.mix(targets.size());
+            for (const BasicBlock *t : targets) {
+                auto bt = blockIdx.find(t);
+                hasher.mix(bt != blockIdx.end() ? bt->second
+                                                : uint32_t(~0u));
+            }
+        }
+    }
+    return hasher.h;
 }
 
 size_t

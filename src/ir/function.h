@@ -70,6 +70,23 @@ class Function : public Value
     /** Total number of instructions across all blocks. */
     size_t instructionCount() const;
 
+    /**
+     * Stable structural hash of the function body.
+     *
+     * A layout-order walk over blocks, instructions and operands:
+     * instructions and blocks are identified by their position, local
+     * values (arguments, instruction results) by dense indices,
+     * constants by type and bit pattern, globals and callees by name.
+     * SSA value names, heap addresses and the uniqueName() counter do
+     * not participate, so two structurally identical functions — the
+     * same function recompiled, or the same body under another name in
+     * another module — hash equal, while any edit to an instruction,
+     * operand, type, branch target or embedded constant changes the
+     * hash. This is the content fingerprint the cross-request
+     * MatchCache and the service layer key on.
+     */
+    uint64_t contentHash() const;
+
     std::string handle() const override { return "@" + name(); }
 
     /** Pick a fresh SSA name with the given prefix. */
@@ -90,6 +107,15 @@ class Module
     Module() = default;
     Module(const Module &) = delete;
     Module &operator=(const Module &) = delete;
+
+    /**
+     * Client-facing module identity (empty by default). The service
+     * layer keys sessions by it and matchFingerprint embeds it, so two
+     * clients' same-named functions never collide in cross-module
+     * stores.
+     */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
 
     ~Module()
     {
@@ -142,6 +168,7 @@ class Module
 
   private:
     TypeContext types_;
+    std::string name_;
     std::vector<std::unique_ptr<Function>> functions_;
     std::vector<std::unique_ptr<GlobalVariable>> globals_;
     std::map<std::pair<Type *, int64_t>, std::unique_ptr<Constant>>

@@ -1,0 +1,399 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+#include "support/diagnostics.h"
+
+namespace repro::service {
+
+namespace {
+
+/**
+ * Transport seam of the command loop: line- and byte-granular reads
+ * plus buffered writes, implemented over iostreams (REPL) and file
+ * descriptors (sockets).
+ */
+class LineIO
+{
+  public:
+    virtual ~LineIO() = default;
+    /** One line, without the trailing newline (CR stripped). */
+    virtual bool readLine(std::string *line) = 0;
+    /** Exactly @p n bytes (the counted SUBMIT payload). */
+    virtual bool readBytes(char *buf, size_t n) = 0;
+    virtual bool write(const std::string &data) = 0;
+};
+
+class StreamIO final : public LineIO
+{
+  public:
+    StreamIO(std::istream &in, std::ostream &out) : in_(in), out_(out)
+    {}
+
+    bool
+    readLine(std::string *line) override
+    {
+        if (!std::getline(in_, *line))
+            return false;
+        if (!line->empty() && line->back() == '\r')
+            line->pop_back();
+        return true;
+    }
+
+    bool
+    readBytes(char *buf, size_t n) override
+    {
+        in_.read(buf, static_cast<std::streamsize>(n));
+        return static_cast<size_t>(in_.gcount()) == n;
+    }
+
+    bool
+    write(const std::string &data) override
+    {
+        out_ << data;
+        out_.flush();
+        return static_cast<bool>(out_);
+    }
+
+  private:
+    std::istream &in_;
+    std::ostream &out_;
+};
+
+class FdIO final : public LineIO
+{
+  public:
+    explicit FdIO(int fd) : fd_(fd) {}
+
+    bool
+    readLine(std::string *line) override
+    {
+        line->clear();
+        for (;;) {
+            if (pos_ == buffer_.size() && !fill())
+                return !line->empty();
+            char c = buffer_[pos_++];
+            if (c == '\n') {
+                if (!line->empty() && line->back() == '\r')
+                    line->pop_back();
+                return true;
+            }
+            line->push_back(c);
+        }
+    }
+
+    bool
+    readBytes(char *buf, size_t n) override
+    {
+        size_t got = 0;
+        while (got < n) {
+            if (pos_ == buffer_.size() && !fill())
+                return false;
+            size_t take =
+                std::min(n - got, buffer_.size() - pos_);
+            std::memcpy(buf + got, buffer_.data() + pos_, take);
+            pos_ += take;
+            got += take;
+        }
+        return true;
+    }
+
+    bool
+    write(const std::string &data) override
+    {
+        size_t sent = 0;
+        while (sent < data.size()) {
+            ssize_t n = ::write(fd_, data.data() + sent,
+                                data.size() - sent);
+            if (n <= 0)
+                return false;
+            sent += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+  private:
+    bool
+    fill()
+    {
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n <= 0)
+            return false;
+        buffer_.assign(chunk, chunk + n);
+        pos_ = 0;
+        return true;
+    }
+
+    int fd_;
+    std::string buffer_;
+    size_t pos_ = 0;
+};
+
+void
+writeLines(LineIO &io, const std::vector<std::string> &lines)
+{
+    std::string block;
+    for (const auto &line : lines) {
+        block += line;
+        block += '\n';
+    }
+    io.write(block);
+}
+
+/**
+ * Read the SUBMIT payload: counted bytes, or heredoc lines up to the
+ * terminator. Returns false on a truncated payload (connection is
+ * then torn down — resynchronizing inside a half-read payload is
+ * impossible).
+ */
+bool
+readPayload(LineIO &io, const Request &request, std::string *source)
+{
+    if (!request.terminator.empty()) {
+        std::string line;
+        source->clear();
+        for (;;) {
+            if (!io.readLine(&line))
+                return false;
+            if (line == request.terminator)
+                return true;
+            *source += line;
+            *source += '\n';
+        }
+    }
+    source->resize(request.payloadBytes);
+    return request.payloadBytes == 0 ||
+           io.readBytes(&(*source)[0], request.payloadBytes);
+}
+
+/** The shared command loop; returns the number of requests served. */
+size_t
+serveConnection(MatchService &service, LineIO &io)
+{
+    size_t requests = 0;
+    std::string line;
+    while (io.readLine(&line)) {
+        // Blank lines are tolerated so a counted SUBMIT payload may
+        // end with a courtesy newline.
+        if (tokenize(line).empty())
+            continue;
+        ++requests;
+        Request request = parseRequest(line);
+        switch (request.verb) {
+          case Request::Verb::Hello: {
+            io.write("OK service=repro-match protocol=" +
+                     std::to_string(kProtocolVersion) + " idiomset=" +
+                     hashToken(idioms::idiomSetHash()) + "\n");
+            break;
+          }
+          case Request::Verb::Submit: {
+            std::string source;
+            if (!readPayload(io, request, &source)) {
+                io.write("ERR truncated SUBMIT payload\n");
+                return requests;
+            }
+            writeLines(io, formatSubmitResponse(
+                               service.submit(request.module,
+                                              source)));
+            break;
+          }
+          case Request::Verb::Matches: {
+            SubmitOutcome outcome;
+            if (service.lastOutcome(request.module, &outcome))
+                writeLines(io, formatSubmitResponse(outcome));
+            else
+                io.write("ERR unknown module: " + request.module +
+                         "\n");
+            break;
+          }
+          case Request::Verb::Stats:
+            io.write(formatStats(service.cacheCounters(),
+                                 service.cacheSize(),
+                                 service.cacheCapacity(),
+                                 service.sessionCount()) +
+                     "\n");
+            break;
+          case Request::Verb::Capacity:
+            service.setCacheCapacity(request.capacity);
+            io.write("OK capacity=" +
+                     std::to_string(service.cacheCapacity()) + "\n");
+            break;
+          case Request::Verb::Drop:
+            io.write(std::string("OK dropped=") +
+                     (service.drop(request.module) ? "1" : "0") +
+                     "\n");
+            break;
+          case Request::Verb::Reset:
+            service.reset();
+            io.write("OK\n");
+            break;
+          case Request::Verb::Quit:
+            io.write("OK bye\n");
+            return requests;
+          case Request::Verb::Invalid:
+            io.write("ERR " + request.error + "\n");
+            break;
+        }
+    }
+    return requests;
+}
+
+} // namespace
+
+size_t
+runRepl(MatchService &service, std::istream &in, std::ostream &out)
+{
+    StreamIO io(in, out);
+    return serveConnection(service, io);
+}
+
+/** One live socket connection and its handler thread. */
+struct SocketServer::Connection
+{
+    std::atomic<int> fd{-1};
+    std::thread thread;
+};
+
+SocketServer::SocketServer(MatchService &service, ServerOptions opts)
+    : service_(service), opts_(std::move(opts))
+{}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+void
+SocketServer::start()
+{
+    if (running_)
+        throw FatalError("SocketServer::start: already running");
+    const bool unixMode = !opts_.unixPath.empty();
+    if (unixMode == (opts_.tcpPort >= 0)) {
+        throw FatalError("SocketServer: configure exactly one of "
+                         "unixPath / tcpPort");
+    }
+
+    if (unixMode) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts_.unixPath.size() >= sizeof(addr.sun_path))
+            throw FatalError("SocketServer: unix path too long");
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            throw FatalError("SocketServer: socket() failed");
+        ::unlink(opts_.unixPath.c_str());
+        std::strncpy(addr.sun_path, opts_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw FatalError("SocketServer: bind(" + opts_.unixPath +
+                             ") failed");
+        }
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            throw FatalError("SocketServer: socket() failed");
+        int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<uint16_t>(opts_.tcpPort));
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+            throw FatalError("SocketServer: bind(port " +
+                             std::to_string(opts_.tcpPort) +
+                             ") failed");
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &len) == 0)
+            boundPort_ = ntohs(bound.sin_port);
+    }
+
+    if (::listen(listenFd_, 16) != 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        throw FatalError("SocketServer: listen() failed");
+    }
+    running_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+SocketServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            return; // listen fd closed by stop()
+        auto conn = std::make_unique<Connection>();
+        Connection *raw = conn.get();
+        raw->fd.store(fd);
+        raw->thread = std::thread([this, raw] {
+            FdIO io(raw->fd.load());
+            serveConnection(service_, io);
+            int cfd = raw->fd.exchange(-1);
+            if (cfd >= 0)
+                ::close(cfd);
+        });
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.push_back(std::move(conn));
+    }
+}
+
+void
+SocketServer::stop()
+{
+    if (!running_)
+        return;
+    running_ = false;
+    // Closing the listen fd unblocks accept(); shutting down live
+    // connection fds unblocks their reads. Handlers close their own
+    // fds, so stop() only ever shuts down (never double-closes).
+    ::shutdown(listenFd_, SHUT_RDWR);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (auto &conn : connections_) {
+            int fd = conn->fd.load();
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    for (auto &conn : connections_) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+    }
+    connections_.clear();
+    if (!opts_.unixPath.empty())
+        ::unlink(opts_.unixPath.c_str());
+    boundPort_ = -1;
+}
+
+} // namespace repro::service

@@ -1,0 +1,158 @@
+#include "service/service.h"
+
+#include <chrono>
+
+#include "frontend/compiler.h"
+
+namespace repro::service {
+
+namespace {
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+MatchService::MatchService(ServiceOptions opts)
+    : opts_(opts),
+      cache_(std::make_shared<driver::MatchCache>(opts.cacheCapacity)),
+      driver_(driver::DriverOptions{opts.limits, false, cache_})
+{}
+
+SubmitOutcome
+MatchService::submit(const std::string &moduleName,
+                     const std::string &source)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    SubmitOutcome outcome;
+    outcome.module = moduleName;
+
+    // Compile into a fresh module first: a failed submission must
+    // leave the previous session fully intact.
+    auto module = std::make_unique<ir::Module>();
+    module->setName(moduleName);
+    auto t0 = std::chrono::steady_clock::now();
+    DiagEngine diags;
+    if (!frontend::compileMiniC(source, *module, diags)) {
+        outcome.error = diags.all().empty()
+                            ? std::string("compilation failed")
+                            : diags.all().front().str();
+        return outcome;
+    }
+    outcome.compileMillis = millisSince(t0);
+
+    // The driver's analysis cache points into the previously matched
+    // module; this request targets a new one. (The epoch bump also
+    // retires analyses deposited in the MatchCache, so recycled
+    // addresses can never revive them.)
+    driver_.invalidateAll();
+    t0 = std::chrono::steady_clock::now();
+    driver::MatchReport report = driver_.matchModule(*module);
+    outcome.matchMillis = millisSince(t0);
+
+    outcome.ok = true;
+    outcome.functions = report.functions.size();
+    outcome.matches = report.matchCount();
+    outcome.cacheHits = report.cacheHits;
+    outcome.cacheMisses = report.cacheMisses;
+    for (const auto &fr : report.functions) {
+        FunctionOutcome fo;
+        fo.name = fr.function->name();
+        fo.contentHash = fr.contentHash;
+        fo.matches = fr.matches.size();
+        fo.fromCache = fr.fromCache;
+        outcome.perFunction.push_back(std::move(fo));
+        for (const auto &m : fr.matches) {
+            outcome.matchList.push_back(
+                MatchOutcome{fr.function->name(), m.idiom, m.cls});
+        }
+    }
+
+    Session &session = sessions_[moduleName];
+    session.source = source;
+    // Destroying the replaced module is safe: the driver cache was
+    // invalidated above and the new report holds no pointers into it.
+    session.module = std::move(module);
+    session.outcome = outcome;
+    return outcome;
+}
+
+bool
+MatchService::lastOutcome(const std::string &moduleName,
+                          SubmitOutcome *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(moduleName);
+    if (it == sessions_.end())
+        return false;
+    *out = it->second.outcome;
+    return true;
+}
+
+bool
+MatchService::drop(const std::string &moduleName)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(moduleName);
+    if (it == sessions_.end())
+        return false;
+    // The driver's analysis cache may point into the dying module;
+    // never let a later submission's recycled addresses alias it.
+    driver_.invalidateAll();
+    sessions_.erase(it);
+    return true;
+}
+
+void
+MatchService::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    driver_.invalidateAll();
+    sessions_.clear();
+    cache_->clear();
+}
+
+size_t
+MatchService::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+driver::CacheCounters
+MatchService::cacheCounters() const
+{
+    return cache_->counters();
+}
+
+size_t
+MatchService::cacheSize() const
+{
+    return cache_->size();
+}
+
+size_t
+MatchService::cacheCapacity() const
+{
+    return cache_->capacity();
+}
+
+void
+MatchService::setCacheCapacity(size_t capacity)
+{
+    cache_->setCapacity(capacity);
+}
+
+uint64_t
+MatchService::idiomSetHash() const
+{
+    return idioms::idiomSetHash();
+}
+
+} // namespace repro::service

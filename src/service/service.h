@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Matching-as-a-service session core.
+ *
+ * The batch pipeline recompiles, re-analyzes and re-solves everything
+ * on every invocation; MatchService is the long-lived alternative a
+ * daemon fronts. It keeps one session per client module name (the
+ * submitted source, its compiled ir::Module, and the last report) and
+ * routes every submission through a cache-attached MatchingDriver, so
+ * resubmitting an edited module re-solves only the functions whose
+ * structural contentHash() changed — every unchanged function replays
+ * its cached matches, re-anchored onto the freshly compiled IR (see
+ * driver/match_cache.h for the keying and portability story).
+ *
+ * The MatchCache is shared across all sessions: two clients
+ * submitting the same kernel body share one entry, regardless of
+ * module or function names.
+ *
+ * All public methods are mutex-guarded; concurrent connections of the
+ * socket server may call into one MatchService freely. Submitted
+ * modules stay alive until their session is replaced, dropped or
+ * reset, so cached analyses deposited for live functions can never
+ * dangle (the driver's epoch guard covers the replacement window).
+ */
+#ifndef SERVICE_SERVICE_H
+#define SERVICE_SERVICE_H
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+
+namespace repro::service {
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    /** Limits forwarded to every constraint solve. */
+    solver::SolverLimits limits;
+    /** Match-cache entry bound (LRU beyond this). */
+    size_t cacheCapacity = driver::MatchCache::kDefaultCapacity;
+};
+
+/** One matched idiom instance, in wire-friendly form. */
+struct MatchOutcome
+{
+    std::string function;
+    std::string idiom;
+    idioms::IdiomClass cls = idioms::IdiomClass::Other;
+};
+
+/** Per-function result of one submission. */
+struct FunctionOutcome
+{
+    std::string name;
+    uint64_t contentHash = 0;
+    size_t matches = 0;
+    /** True when replayed from the cross-request cache. */
+    bool fromCache = false;
+};
+
+/** Result of one SUBMIT. */
+struct SubmitOutcome
+{
+    std::string module;
+    bool ok = false;
+    /** Compile diagnostics (first line) when !ok. */
+    std::string error;
+
+    size_t functions = 0;
+    size_t matches = 0;
+    /** Functions replayed from / missed in the shared cache. */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    double compileMillis = 0.0;
+    double matchMillis = 0.0;
+
+    std::vector<FunctionOutcome> perFunction;
+    std::vector<MatchOutcome> matchList;
+};
+
+/** The long-lived matching service. */
+class MatchService
+{
+  public:
+    explicit MatchService(ServiceOptions opts = {});
+
+    /**
+     * Compile @p source as module @p moduleName and match it,
+     * replaying every function already known to the cache. Replaces
+     * the module's previous session on success; on a compile error
+     * the previous session (if any) survives untouched.
+     */
+    SubmitOutcome submit(const std::string &moduleName,
+                         const std::string &source);
+
+    /** The last successful outcome for @p moduleName, if any. */
+    bool lastOutcome(const std::string &moduleName,
+                     SubmitOutcome *out) const;
+
+    /** Drop one session; returns false when absent. */
+    bool drop(const std::string &moduleName);
+
+    /** Drop every session and every cache entry. */
+    void reset();
+
+    size_t sessionCount() const;
+
+    driver::CacheCounters cacheCounters() const;
+    size_t cacheSize() const;
+    size_t cacheCapacity() const;
+    void setCacheCapacity(size_t capacity);
+
+    /** Identity of the idiom set all cache keys embed. */
+    uint64_t idiomSetHash() const;
+
+  private:
+    struct Session
+    {
+        std::string source;
+        std::unique_ptr<ir::Module> module;
+        SubmitOutcome outcome;
+    };
+
+    mutable std::mutex mutex_;
+    ServiceOptions opts_;
+    std::shared_ptr<driver::MatchCache> cache_;
+    driver::MatchingDriver driver_;
+    std::map<std::string, Session> sessions_;
+};
+
+} // namespace repro::service
+
+#endif // SERVICE_SERVICE_H

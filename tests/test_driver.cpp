@@ -12,6 +12,7 @@
 #include "frontend/compiler.h"
 #include "idl/lower.h"
 #include "ir/verifier.h"
+#include "transform/transform.h"
 
 using namespace repro;
 
@@ -173,6 +174,61 @@ TEST(Driver, CacheIsScopedPerModule)
     auto second =
         matchKeys(drv.compileAndMatch(b.source, moduleB).allMatches());
     EXPECT_EQ(first, second);
+}
+
+TEST(Driver, AnalysesRebuiltAfterInPlaceMutation)
+{
+    // The analysis cache is guarded by the function's contentHash():
+    // mutating a function in place (here: the transform stage
+    // replacing its GEMM nest with an API call) must make the next
+    // analysesFor rebuild instead of serving stale dominators, loops
+    // and candidate indices — with no invalidate() call in between.
+    const auto &b = benchmarks::benchmarkByName("sgemm");
+    driver::MatchingDriver drv;
+    ir::Module module;
+    auto report = drv.compileAndMatch(b.source, module);
+    ir::Function *func = module.functionByName(b.entry);
+    ASSERT_NE(func, nullptr);
+
+    const uint64_t hashBefore = func->contentHash();
+    analysis::FunctionAnalyses &before = drv.analysesFor(func);
+    const size_t loopsBefore = before.loopInfo().loops().size();
+    const size_t valuesBefore =
+        before.candidateIndex().universe().size();
+    ASSERT_GT(loopsBefore, 0u);
+
+    transform::Transformer transformer(module);
+    auto replacements = transformer.applyAll(report.allMatches());
+    ASSERT_FALSE(replacements.empty());
+    ASSERT_TRUE(ir::verifyModule(module).empty());
+    ASSERT_NE(func->contentHash(), hashBefore);
+
+    analysis::FunctionAnalyses &after = drv.analysesFor(func);
+    const size_t loopsAfter = after.loopInfo().loops().size();
+    const size_t valuesAfter =
+        after.candidateIndex().universe().size();
+    // Replacing the loop nest with a call removes loops and shrinks
+    // the value universe; stale analyses would report the old counts.
+    EXPECT_LT(loopsAfter, loopsBefore);
+    EXPECT_LT(valuesAfter, valuesBefore);
+
+    // And the fresh analyses are themselves cached again.
+    EXPECT_EQ(&after, &drv.analysesFor(func));
+}
+
+TEST(Driver, AnalysesStableWhileFunctionUnchanged)
+{
+    // The hash guard must not cause spurious rebuilds: repeated
+    // analysesFor on an untouched function returns the same object.
+    const auto &b = benchmarks::benchmarkByName("sgemm");
+    driver::MatchingDriver drv;
+    ir::Module module;
+    frontend::compileMiniCOrDie(b.source, module);
+    ir::Function *func = module.functionByName(b.entry);
+
+    analysis::FunctionAnalyses &first = drv.analysesFor(func);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(&first, &drv.analysesFor(func));
 }
 
 TEST(Driver, SolverLimitsAreHonored)

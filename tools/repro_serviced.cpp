@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The matching daemon: a persistent process serving the idiom
+ * matching pipeline over the line protocol (docs/SERVICE.md).
+ *
+ * Modes:
+ *   repro_serviced                 stdin/stdout REPL (the default)
+ *   repro_serviced --unix=PATH     unix-domain socket listener
+ *   repro_serviced --tcp=PORT      loopback TCP listener (0 = pick)
+ *
+ * Options:
+ *   --capacity=N   match-cache entry bound (default 1024)
+ *
+ * All sessions share one fingerprint-keyed match cache, so repeated
+ * or cross-client submissions of unchanged functions replay cached
+ * matches instead of re-solving them.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
+
+using namespace repro;
+
+int
+main(int argc, char **argv)
+{
+    std::string unix_path;
+    int tcp_port = -1;
+    size_t capacity = driver::MatchCache::kDefaultCapacity;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--unix=", 7) == 0) {
+            unix_path = argv[i] + 7;
+        } else if (std::strncmp(argv[i], "--tcp=", 6) == 0) {
+            tcp_port = std::atoi(argv[i] + 6);
+        } else if (std::strncmp(argv[i], "--capacity=", 11) == 0) {
+            capacity =
+                static_cast<size_t>(std::atoll(argv[i] + 11));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--unix=PATH | --tcp=PORT] "
+                         "[--capacity=N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    service::ServiceOptions opts;
+    opts.cacheCapacity = capacity;
+    service::MatchService svc(opts);
+
+    if (unix_path.empty() && tcp_port < 0) {
+        service::runRepl(svc, std::cin, std::cout);
+        return 0;
+    }
+
+    service::ServerOptions server_opts;
+    server_opts.unixPath = unix_path;
+    server_opts.tcpPort = tcp_port;
+    service::SocketServer server(svc, server_opts);
+    try {
+        server.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "repro_serviced: %s\n", e.what());
+        return 1;
+    }
+    if (!unix_path.empty())
+        std::fprintf(stderr, "repro_serviced: listening on %s\n",
+                     unix_path.c_str());
+    else
+        std::fprintf(stderr, "repro_serviced: listening on "
+                             "127.0.0.1:%d\n",
+                     server.boundTcpPort());
+
+    // The daemon runs until its controlling terminal closes stdin
+    // (service management's usual teardown signal for a foreground
+    // process); socket clients come and go freely meanwhile.
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line == "QUIT")
+            break;
+    }
+    server.stop();
+    return 0;
+}
