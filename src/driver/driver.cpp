@@ -114,6 +114,16 @@ MatchReport::matchCount() const
 
 MatchingDriver::MatchingDriver(DriverOptions opts) : opts_(opts) {}
 
+uint64_t
+MatchingDriver::nextEpoch()
+{
+    // Process-wide: two drivers sharing one MatchCache must never be
+    // at the same epoch, or a recycled function address in driver B
+    // could revive analyses whose IR driver A already destroyed.
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 MatchReport
 MatchingDriver::compileAndMatch(const std::string &source,
                                 ir::Module &module)
@@ -608,7 +618,7 @@ MatchingDriver::invalidateAll()
     // New epoch: analyses deposited in the MatchCache under earlier
     // epochs are unreachable from now on, even if a later module's
     // function recycles an old address.
-    ++epoch_;
+    epoch_ = nextEpoch();
 }
 
 void
@@ -623,7 +633,10 @@ MatchingDriver::tryReplay(ir::Function *func, FunctionReport *fr)
     CacheKey key{fr->contentHash, idioms::idiomSetHash()};
     std::shared_ptr<const CachedMatches> entry =
         opts_.cache->lookup(key);
-    if (entry &&
+    // The signature check demotes a contentHash collision (different
+    // body, equal 64-bit hash) to a miss; reanchor's membership
+    // validation alone could silently accept such an entry.
+    if (entry && entry->signature == MatchCache::signatureOf(func) &&
         MatchCache::reanchor(entry->matches, func, &fr->matches)) {
         fr->stats = entry->stats;
         fr->fromCache = true;
@@ -642,6 +655,7 @@ MatchingDriver::storeSolveResult(
     CachedMatches entry;
     if (!MatchCache::capture(fr.matches, func, &entry.matches))
         return;
+    entry.signature = MatchCache::signatureOf(func);
     entry.stats = fr.stats;
     if (analyses) {
         entry.analyses = std::move(analyses);

@@ -317,14 +317,20 @@ class MatchingDriver
     }
 
     /**
-     * Monotonic analysis epoch, bumped by every invalidateAll().
-     * Analyses deposited into the MatchCache are tagged with it so a
-     * recycled function address from a destroyed module can never
-     * revive another epoch's analyses.
+     * Analysis epoch: drawn from a process-wide monotonic counter at
+     * construction and re-drawn by every invalidateAll(). Analyses
+     * deposited into the MatchCache are tagged with it so a recycled
+     * function address from a destroyed module can never revive
+     * another epoch's analyses. Globally unique across driver
+     * instances — a MatchCache shared between drivers can never hand
+     * one driver analyses deposited by another.
      */
     uint64_t epoch() const { return epoch_; }
 
   private:
+    /** Next value of the process-wide epoch counter (never 0). */
+    static uint64_t nextEpoch();
+
     void accumulate(const solver::SolveStats &delta);
 
     /**
@@ -368,7 +374,7 @@ class MatchingDriver
     /** Module the cached analyses belong to. */
     const ir::Module *module_ = nullptr;
     std::map<ir::Function *, AnalysesSlot> cache_;
-    uint64_t epoch_ = 0;
+    uint64_t epoch_ = nextEpoch();
 };
 
 } // namespace repro::driver

@@ -180,6 +180,18 @@ constantBits(const ir::Constant *c)
 
 } // namespace
 
+StructuralSignature
+MatchCache::signatureOf(const ir::Function *func)
+{
+    StructuralSignature sig;
+    sig.numArgs = static_cast<uint32_t>(func->numArgs());
+    for (const auto &bb : func->blocks()) {
+        ++sig.numBlocks;
+        sig.numInsts += static_cast<uint32_t>(bb->insts().size());
+    }
+    return sig;
+}
+
 bool
 MatchCache::capture(const std::vector<idioms::IdiomMatch> &matches,
                     const ir::Function *func,

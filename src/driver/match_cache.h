@@ -22,7 +22,11 @@
  * materializes ordinary IdiomMatch objects. Re-anchoring is validated
  * by membership (every index in range, every name resolvable), the
  * same no-deref discipline the transactional RewriteEngine applies to
- * its plans; any failure falls back to a fresh solve.
+ * its plans; any failure falls back to a fresh solve. Because that
+ * validation is membership-only, entries also carry a
+ * StructuralSignature (arg/block/instruction counts) checked before
+ * replay, so a 64-bit contentHash collision between two different
+ * bodies degrades to a fresh solve instead of wrong matches.
  *
  * Entries also carry the function's SolveStats (so replayed reports
  * are byte-identical to cold ones) and may hold the live
@@ -95,10 +99,39 @@ struct PortableMatch
     std::vector<std::pair<std::string, PortableValue>> bindings;
 };
 
+/**
+ * Cheap structural second factor next to the 64-bit contentHash.
+ * FNV-1a has weak diffusion, so a long-lived shared cache cannot rest
+ * on hash equality alone: replay validation is membership-only, and a
+ * colliding entry would silently re-anchor wrong matches. A count
+ * mismatch downgrades the collision to a plain miss (fresh solve).
+ */
+struct StructuralSignature
+{
+    uint32_t numArgs = 0;
+    uint32_t numBlocks = 0;
+    uint32_t numInsts = 0;
+
+    bool
+    operator==(const StructuralSignature &o) const
+    {
+        return numArgs == o.numArgs && numBlocks == o.numBlocks &&
+               numInsts == o.numInsts;
+    }
+
+    bool
+    operator!=(const StructuralSignature &o) const
+    {
+        return !(*this == o);
+    }
+};
+
 /** One cached per-function solve result. */
 struct CachedMatches
 {
     std::vector<PortableMatch> matches;
+    /** Shape of the solved function; checked before any replay. */
+    StructuralSignature signature;
     /** Solver effort of the original solve, replayed into reports. */
     solver::SolveStats stats;
 
@@ -173,6 +206,9 @@ class MatchCache
     void clear();
 
     // Portable encoding ---------------------------------------------------
+
+    /** The structural signature of @p func (arg/block/inst counts). */
+    static StructuralSignature signatureOf(const ir::Function *func);
 
     /**
      * Encode @p matches of @p func portably. Returns false (leaving

@@ -38,6 +38,15 @@ namespace repro::service {
 /** Protocol revision reported by HELLO. */
 constexpr int kProtocolVersion = 1;
 
+/**
+ * Upper bound on a SUBMIT payload, counted or heredoc (and on any
+ * single request line). Oversized counted submissions are rejected
+ * before any buffer is allocated, so a hostile byte count can not
+ * drive std::string::resize into std::length_error / bad_alloc and
+ * take the daemon down; oversized heredocs fail the one request.
+ */
+constexpr size_t kMaxPayloadBytes = 16u * 1024 * 1024;
+
 /** One parsed request line (payload not yet read for SUBMIT). */
 struct Request
 {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <exception>
 #include <istream>
 #include <ostream>
 
@@ -89,7 +90,12 @@ class FdIO final : public LineIO
                     line->pop_back();
                 return true;
             }
-            line->push_back(c);
+            // Bound the line buffer: a client streaming gigabytes
+            // without a newline must not OOM the daemon. Excess bytes
+            // are consumed but dropped; the truncated line then fails
+            // request parsing.
+            if (line->size() < kMaxPayloadBytes)
+                line->push_back(c);
         }
     }
 
@@ -152,30 +158,54 @@ writeLines(LineIO &io, const std::vector<std::string> &lines)
     io.write(block);
 }
 
+enum class PayloadStatus
+{
+    Ok,
+    Truncated, ///< stream ended inside the payload
+    TooLarge,  ///< payload exceeds kMaxPayloadBytes
+};
+
 /**
  * Read the SUBMIT payload: counted bytes, or heredoc lines up to the
- * terminator. Returns false on a truncated payload (connection is
- * then torn down — resynchronizing inside a half-read payload is
- * impossible).
+ * terminator. Truncated payloads tear the connection down —
+ * resynchronizing inside a half-read payload is impossible. Payloads
+ * over kMaxPayloadBytes fail: an oversized heredoc is drained to its
+ * terminator (bounded memory) so the connection stays usable, while
+ * an oversized counted payload is rejected before any allocation and
+ * before any of its bytes are read (the caller must then close, since
+ * the unread bytes would be misparsed as requests).
  */
-bool
+PayloadStatus
 readPayload(LineIO &io, const Request &request, std::string *source)
 {
     if (!request.terminator.empty()) {
         std::string line;
         source->clear();
+        bool overflow = false;
         for (;;) {
             if (!io.readLine(&line))
-                return false;
-            if (line == request.terminator)
-                return true;
+                return PayloadStatus::Truncated;
+            if (line == request.terminator) {
+                return overflow ? PayloadStatus::TooLarge
+                                : PayloadStatus::Ok;
+            }
+            if (overflow)
+                continue;
+            if (source->size() + line.size() + 1 > kMaxPayloadBytes) {
+                overflow = true;
+                continue;
+            }
             *source += line;
             *source += '\n';
         }
     }
+    if (request.payloadBytes > kMaxPayloadBytes)
+        return PayloadStatus::TooLarge;
     source->resize(request.payloadBytes);
-    return request.payloadBytes == 0 ||
-           io.readBytes(&(*source)[0], request.payloadBytes);
+    if (request.payloadBytes != 0 &&
+        !io.readBytes(&(*source)[0], request.payloadBytes))
+        return PayloadStatus::Truncated;
+    return PayloadStatus::Ok;
 }
 
 /** The shared command loop; returns the number of requests served. */
@@ -190,6 +220,12 @@ serveConnection(MatchService &service, LineIO &io)
         if (tokenize(line).empty())
             continue;
         ++requests;
+        // One request must never take the connection's siblings down:
+        // any exception escaping the dispatch (solver FatalError,
+        // bad_alloc, ...) would otherwise propagate through the
+        // connection thread into std::terminate. In-sync guarantees
+        // are gone at that point, so fail this connection only.
+        try {
         Request request = parseRequest(line);
         switch (request.verb) {
           case Request::Verb::Hello: {
@@ -200,13 +236,25 @@ serveConnection(MatchService &service, LineIO &io)
           }
           case Request::Verb::Submit: {
             std::string source;
-            if (!readPayload(io, request, &source)) {
+            switch (readPayload(io, request, &source)) {
+              case PayloadStatus::Truncated:
                 io.write("ERR truncated SUBMIT payload\n");
                 return requests;
+              case PayloadStatus::TooLarge:
+                io.write("ERR payload too large (max " +
+                         std::to_string(kMaxPayloadBytes) +
+                         " bytes)\n");
+                // A drained heredoc leaves the stream in sync; an
+                // unread counted payload cannot.
+                if (request.terminator.empty())
+                    return requests;
+                break;
+              case PayloadStatus::Ok:
+                writeLines(io, formatSubmitResponse(
+                                   service.submit(request.module,
+                                                  source)));
+                break;
             }
-            writeLines(io, formatSubmitResponse(
-                               service.submit(request.module,
-                                              source)));
             break;
           }
           case Request::Verb::Matches: {
@@ -245,6 +293,11 @@ serveConnection(MatchService &service, LineIO &io)
           case Request::Verb::Invalid:
             io.write("ERR " + request.error + "\n");
             break;
+        }
+        } catch (const std::exception &e) {
+            io.write(std::string("ERR internal error: ") + e.what() +
+                     "\n");
+            return requests;
         }
     }
     return requests;
@@ -347,15 +400,28 @@ void
 SocketServer::acceptLoop()
 {
     for (;;) {
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        int lfd = listenFd_.load();
+        if (lfd < 0)
+            return; // retired by stop()
+        int fd = ::accept(lfd, nullptr, nullptr);
         if (fd < 0)
             return; // listen fd closed by stop()
         auto conn = std::make_unique<Connection>();
         Connection *raw = conn.get();
         raw->fd.store(fd);
         raw->thread = std::thread([this, raw] {
-            FdIO io(raw->fd.load());
-            serveConnection(service_, io);
+            try {
+                FdIO io(raw->fd.load());
+                serveConnection(service_, io);
+            } catch (...) {
+                // Last-resort backstop: an exception escaping a
+                // detached-from-main handler would std::terminate
+                // the whole daemon.
+            }
+            // Close under connMutex_ so stop() can never observe the
+            // fd between this close and a kernel-side reuse of its
+            // number (its shutdown pass holds the same mutex).
+            std::lock_guard<std::mutex> lock(connMutex_);
             int cfd = raw->fd.exchange(-1);
             if (cfd >= 0)
                 ::close(cfd);
@@ -373,10 +439,15 @@ SocketServer::stop()
     running_ = false;
     // Closing the listen fd unblocks accept(); shutting down live
     // connection fds unblocks their reads. Handlers close their own
-    // fds, so stop() only ever shuts down (never double-closes).
-    ::shutdown(listenFd_, SHUT_RDWR);
-    ::close(listenFd_);
-    listenFd_ = -1;
+    // fds, so stop() only ever shuts down (never double-closes), and
+    // connMutex_ serializes this pass against those closes — a
+    // handler cannot close (and the kernel recycle) an fd between
+    // our load and shutdown.
+    int lfd = listenFd_.exchange(-1);
+    if (lfd >= 0) {
+        ::shutdown(lfd, SHUT_RDWR);
+        ::close(lfd);
+    }
     acceptThread_.join();
     {
         std::lock_guard<std::mutex> lock(connMutex_);

@@ -15,6 +15,7 @@
 #ifndef SERVICE_SERVER_H
 #define SERVICE_SERVER_H
 
+#include <atomic>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
@@ -71,7 +72,8 @@ class SocketServer
 
     MatchService &service_;
     ServerOptions opts_;
-    int listenFd_ = -1;
+    /** Atomic: the accept thread reads it while stop() retires it. */
+    std::atomic<int> listenFd_{-1};
     int boundPort_ = -1;
     bool running_ = false;
     std::thread acceptThread_;

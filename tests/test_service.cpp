@@ -348,6 +348,52 @@ TEST(CachedDriver, EvictionForcesResolve)
     EXPECT_EQ(warm.cacheMisses, 0u);
 }
 
+TEST(CachedDriver, CollidingEntryWithDifferentShapeIsNotReplayed)
+{
+    auto cache = std::make_shared<driver::MatchCache>();
+    driver::MatchingDriver drv;
+    drv.attachCache(cache);
+
+    ir::Module cold;
+    auto coldReport = drv.compileAndMatch(clientSource(), cold);
+    ASSERT_EQ(coldReport.cacheMisses, 3u);
+
+    // Emulate a 64-bit contentHash collision: keep each entry's key
+    // but make its structural signature describe a different body.
+    // Replay must degrade to a fresh solve, not re-anchor the
+    // colliding entry's matches.
+    for (const auto &fr : coldReport.functions) {
+        driver::CacheKey key{fr.contentHash,
+                             idioms::idiomSetHash()};
+        auto entry = cache->lookup(key);
+        ASSERT_NE(entry, nullptr);
+        driver::CachedMatches poisoned = *entry;
+        poisoned.signature.numInsts += 1;
+        cache->insert(key, std::move(poisoned));
+    }
+
+    ir::Module warm;
+    auto warmReport = drv.compileAndMatch(clientSource(), warm);
+    EXPECT_EQ(warmReport.cacheHits, 0u);
+    EXPECT_EQ(warmReport.cacheMisses, 3u);
+    for (const auto &fr : warmReport.functions)
+        EXPECT_FALSE(fr.fromCache) << fr.function->name();
+}
+
+TEST(CachedDriver, EpochsAreGloballyUniqueAcrossDrivers)
+{
+    // Regression: epochs used to be per-driver counters from 0, so
+    // two drivers sharing one MatchCache could sit at the same epoch
+    // — a recycled function address in driver B then revived analyses
+    // whose module driver A had already destroyed (use-after-free).
+    driver::MatchingDriver a, b;
+    EXPECT_NE(a.epoch(), b.epoch());
+    const uint64_t prev = a.epoch();
+    a.invalidateAll();
+    EXPECT_NE(a.epoch(), prev);
+    EXPECT_NE(a.epoch(), b.epoch());
+}
+
 // -------------------------------------------------- service sessions
 
 TEST(MatchService, ColdWarmEditedAcrossSessions)
@@ -456,6 +502,46 @@ TEST(Protocol, ReplScriptedEditSession)
     EXPECT_NE(transcript.find("idiom=Reduction"), std::string::npos);
     EXPECT_NE(transcript.find("ERR unknown verb: BOGUS"),
               std::string::npos);
+    EXPECT_NE(transcript.find("OK bye"), std::string::npos);
+}
+
+TEST(Protocol, OversizedCountedSubmitIsRejectedBeforeAllocation)
+{
+    // A hostile byte count must never reach std::string::resize
+    // (std::length_error would escape the handler and terminate the
+    // daemon): it is refused before any of the payload is read, and
+    // the connection — no longer synchronizable — is torn down.
+    std::istringstream in("SUBMIT big 18446744073709551615\nSTATS\n");
+    std::ostringstream out;
+    service::MatchService svc;
+    EXPECT_EQ(service::runRepl(svc, in, out), 1u);
+    EXPECT_NE(out.str().find("ERR payload too large"),
+              std::string::npos);
+    // The unread "payload" cannot be skipped, so STATS never runs.
+    EXPECT_EQ(out.str().find("entries="), std::string::npos);
+}
+
+TEST(Protocol, OversizedHeredocFailsRequestButKeepsConnection)
+{
+    // The heredoc form is drained to its terminator with bounded
+    // memory: the one request fails, the stream stays in sync.
+    std::ostringstream script;
+    script << "SUBMIT big <<EOF\n";
+    const std::string chunk(1u << 20, 'x');
+    for (int i = 0; i < 17; ++i)
+        script << chunk << "\n";
+    script << "EOF\n";
+    script << "STATS\n";
+    script << "QUIT\n";
+
+    service::MatchService svc;
+    std::istringstream in(script.str());
+    std::ostringstream out;
+    EXPECT_EQ(service::runRepl(svc, in, out), 3u);
+    const std::string transcript = out.str();
+    EXPECT_NE(transcript.find("ERR payload too large"),
+              std::string::npos);
+    EXPECT_NE(transcript.find("OK entries=0"), std::string::npos);
     EXPECT_NE(transcript.find("OK bye"), std::string::npos);
 }
 
