@@ -468,6 +468,14 @@ TransformVerification
 MatchingDriver::verifyTransform(
     const benchmarks::BenchmarkProgram &program) const
 {
+    return verifyTransform(program, nullptr);
+}
+
+TransformVerification
+MatchingDriver::verifyTransform(
+    const benchmarks::BenchmarkProgram &program,
+    const std::function<void(ir::Module &)> &tamper) const
+{
     TransformVerification v;
     v.name = program.name;
 
@@ -493,6 +501,8 @@ MatchingDriver::verifyTransform(
         local.compileAndMatch(program.source, transformed);
     v.matches = report.matchCount();
     v.replacements = report.replacements.size();
+    if (tamper)
+        tamper(transformed);
     ExecutionSnapshot refT =
         runBenchmark(transformed, program, report.replacements, true);
     ExecutionSnapshot fastT =

@@ -26,6 +26,7 @@
 #ifndef DRIVER_DRIVER_H
 #define DRIVER_DRIVER_H
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -258,6 +259,20 @@ class MatchingDriver
      */
     TransformVerification
     verifyTransform(const benchmarks::BenchmarkProgram &program) const;
+
+    /**
+     * verifyTransform with a sabotage hook: @p tamper mutates the
+     * transformed module after match + rewrite but before any
+     * execution. The negative-oracle tests drive this to prove the
+     * differential harness can actually fail — a deliberately broken
+     * transformation (say, a dropped store) must surface as a
+     * non-empty error, otherwise the 21-program green run proves
+     * nothing. Pass a null hook for the production behavior.
+     */
+    TransformVerification
+    verifyTransform(const benchmarks::BenchmarkProgram &program,
+                    const std::function<void(ir::Module &)> &tamper)
+        const;
 
     /** verifyTransform over the whole NAS/Parboil suite, in order. */
     std::vector<TransformVerification> verifyTransforms() const;

@@ -142,6 +142,10 @@ struct FunctionDecl
     std::vector<ParamDecl> params;
     StmtPtr body; ///< null for declarations
     SourceLoc loc;
+
+    /** `__protect` / `__protect(eddi|cfcss)` reliability annotation. */
+    bool protect = false;
+    std::string protectMode; ///< "", "eddi" or "cfcss"
 };
 
 /** A module-level variable. */

@@ -10,6 +10,7 @@ namespace {
 const std::set<std::string> kKeywords = {
     "int", "long", "float", "double", "void", "for", "while", "do",
     "if", "else", "return", "break", "continue", "const",
+    "__protect",
 };
 
 // Longest first so that ">>" wins over ">".

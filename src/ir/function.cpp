@@ -267,6 +267,23 @@ Function::uniqueName(const std::string &prefix)
     return os.str();
 }
 
+void
+Function::addAttribute(const std::string &attr)
+{
+    if (!hasAttribute(attr))
+        attributes_.push_back(attr);
+}
+
+bool
+Function::hasAttribute(const std::string &attr) const
+{
+    for (const auto &a : attributes_) {
+        if (a == attr)
+            return true;
+    }
+    return false;
+}
+
 Function *
 Module::createFunction(const std::string &name, Type *ret,
                        std::vector<Type *> params)

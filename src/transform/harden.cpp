@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Implementation of the EDDI / CFCSS hardening passes (harden.h).
+ *
+ * Both passes run in one structural walk:
+ *
+ *  1. (EDDI) two cloning passes over the unmutated function: first
+ *     every duplicable instruction gets an empty shadow clone and
+ *     every shadow *root* (argument, alloca, non-void call result)
+ *     gets an identity-copy instruction, registering them in the
+ *     shadow map; then clone operands are filled through the map, so
+ *     forward references (phis of loop-carried values) resolve.
+ *  2. one rebuild pass over the original blocks: each block's
+ *     instructions are detached and re-emitted into a chain of
+ *     *segments* — the original block (keeping its incoming edges)
+ *     followed by fresh "harden.seg" blocks, one split per emitted
+ *     check. Shadow clones ride immediately after their originals,
+ *     CFCSS instrumentation is generated in place (and is itself
+ *     never duplicated or checked), and every check terminates its
+ *     segment with `condBr(mismatch, fault, next-segment)`.
+ *  3. a phi fixup: predecessors still branch to the original block
+ *     heads, but the terminator of a rebuilt block now lives in its
+ *     last segment, so every phi incoming-block reference is remapped
+ *     original -> last segment, restoring the verifier's exact
+ *     phi/predecessor correspondence.
+ *
+ * CFCSS signatures are derived from the block's position in the
+ * original layout via a splitmix64 mix, making the instrumentation —
+ * and therefore the whole fault-injection campaign — deterministic
+ * across runs and engines.
+ */
+#include "transform/harden.h"
+
+#include <map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "ir/irbuilder.h"
+#include "support/diagnostics.h"
+
+namespace repro::transform {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+std::optional<HardenOptions>
+protectOptionsFor(const Function &func)
+{
+    if (func.hasAttribute("protect"))
+        return HardenOptions{true, true};
+    if (func.hasAttribute("protect:eddi"))
+        return HardenOptions{true, false};
+    if (func.hasAttribute("protect:cfcss"))
+        return HardenOptions{false, true};
+    return std::nullopt;
+}
+
+Function *
+getOrCreateHardenTrap(Module &module)
+{
+    if (Function *existing =
+            module.functionByName(interp::kHardenTrapFunction)) {
+        bool compatible = existing->isDeclaration() &&
+                          existing->returnType()->isVoid() &&
+                          existing->numArgs() == 0;
+        return compatible ? existing : nullptr;
+    }
+    return module.createFunction(interp::kHardenTrapFunction,
+                                 module.types().voidTy(), {});
+}
+
+namespace {
+
+/** Deterministic block-signature mix (splitmix64 finalizer). */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** All pass state for hardening one function. */
+class Hardener
+{
+  public:
+    Hardener(Module &module, Function &func, Function *trap,
+             const HardenOptions &opts)
+        : module_(module), func_(func), trap_(trap), opts_(opts),
+          builder_(module)
+    {}
+
+    void
+    run()
+    {
+        for (const auto &bb : func_.blocks())
+            origBlocks_.push_back(bb.get());
+        if (opts_.signatures)
+            computeSignatures();
+        buildFaultBlock();
+        if (opts_.duplicate) {
+            createShadows();
+            fillShadowOperands();
+        }
+        for (BasicBlock *bb : origBlocks_)
+            rebuildBlock(bb);
+        fixupPhiIncomings();
+    }
+
+  private:
+    int64_t
+    sigConst(const BasicBlock *bb) const
+    {
+        return sig_.at(bb);
+    }
+
+    ir::Constant *
+    c64(int64_t v)
+    {
+        return module_.intConst(module_.types().i64Ty(), v);
+    }
+
+    /**
+     * Signatures keyed to the ORIGINAL blocks, by layout index, and
+     * the fan-in reference predecessor p1(B): the first predecessor
+     * in layout order (BasicBlock::predecessors scans the function
+     * in order, so this is deterministic).
+     */
+    void
+    computeSignatures()
+    {
+        for (size_t i = 0; i < origBlocks_.size(); ++i)
+            sig_[origBlocks_[i]] = static_cast<int64_t>(mix64(i + 1));
+        for (BasicBlock *bb : origBlocks_) {
+            auto preds = bb->predecessors();
+            if (!preds.empty())
+                firstPred_[bb] = preds.front();
+        }
+    }
+
+    /** One shared trap block: call @__harden_fault, return zero. */
+    void
+    buildFaultBlock()
+    {
+        faultBB_ = func_.createBlock(func_.uniqueName("harden.fault"));
+        builder_.setInsertPoint(faultBB_);
+        builder_.call(trap_, {});
+        Type *ret = func_.returnType();
+        if (ret->isVoid()) {
+            builder_.retVoid();
+        } else if (ret->isFloatingPoint()) {
+            builder_.ret(module_.fpConst(ret, 0.0));
+        } else {
+            // Integer and pointer returns: interned zero of the type.
+            builder_.ret(module_.intConst(ret, 0));
+        }
+    }
+
+    /** Ops whose results flow into the shadow computation as clones. */
+    static bool
+    isDuplicable(Opcode op)
+    {
+        switch (op) {
+          case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+          case Opcode::SDiv: case Opcode::SRem: case Opcode::And:
+          case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+          case Opcode::AShr: case Opcode::FAdd: case Opcode::FSub:
+          case Opcode::FMul: case Opcode::FDiv: case Opcode::Load:
+          case Opcode::GEP: case Opcode::ICmp: case Opcode::FCmp:
+          case Opcode::Select: case Opcode::Phi: case Opcode::SExt:
+          case Opcode::ZExt: case Opcode::Trunc: case Opcode::SIToFP:
+          case Opcode::FPToSI: case Opcode::FPExt: case Opcode::FPTrunc:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Identity copy of @p v: a fresh instruction computing v again so
+     * the shadow data-flow re-reads the value through an independent
+     * dynamic instruction. All three forms are bit-exact:
+     * `or v, 0` for integers, `fadd v, -0.0` for floats (IEEE-754
+     * identity for every value including zeros; rounding to float
+     * precision is idempotent), `gep v, 0` for pointers.
+     */
+    std::unique_ptr<Instruction>
+    makeIdentityCopy(Value *v)
+    {
+        Type *t = v->type();
+        std::unique_ptr<Instruction> inst;
+        if (t->isInteger()) {
+            inst = std::make_unique<Instruction>(
+                Opcode::Or, t, func_.uniqueName("shadow"));
+            inst->addOperand(v);
+            inst->addOperand(module_.intConst(t, 0));
+        } else if (t->isFloatingPoint()) {
+            inst = std::make_unique<Instruction>(
+                Opcode::FAdd, t, func_.uniqueName("shadow"));
+            inst->addOperand(v);
+            inst->addOperand(module_.fpConst(t, -0.0));
+        } else if (t->isPointer()) {
+            inst = std::make_unique<Instruction>(
+                Opcode::GEP, module_.types().pointerTo(t->element()),
+                func_.uniqueName("shadow"));
+            inst->setAccessType(t->element());
+            inst->addOperand(v);
+            inst->addOperand(c64(0));
+        } else {
+            throw InternalError("harden: unsupported shadow root type");
+        }
+        return inst;
+    }
+
+    /**
+     * Cloning pass 1: empty shadow clones for duplicable
+     * instructions, identity copies for shadow roots (arguments,
+     * allocas, non-void call results). Only registration — clones are
+     * placed during the rebuild, right after their originals.
+     */
+    void
+    createShadows()
+    {
+        for (size_t i = 0; i < func_.numArgs(); ++i) {
+            Value *arg = func_.arg(i);
+            auto copy = makeIdentityCopy(arg);
+            shadow_[arg] = copy.get();
+            argCopies_.push_back(std::move(copy));
+        }
+        for (BasicBlock *bb : origBlocks_) {
+            for (const auto &inst : bb->insts()) {
+                if (isDuplicable(inst->opcode())) {
+                    auto clone = std::make_unique<Instruction>(
+                        inst->opcode(), inst->type(),
+                        func_.uniqueName("shadow"));
+                    clone->setCmpPred(inst->cmpPred());
+                    clone->setAccessType(inst->accessType());
+                    shadow_[inst.get()] = clone.get();
+                    pending_[inst.get()] = std::move(clone);
+                } else if (inst->is(Opcode::Alloca) ||
+                           (inst->is(Opcode::Call) &&
+                            !inst->type()->isVoid())) {
+                    auto copy = makeIdentityCopy(inst.get());
+                    shadow_[inst.get()] = copy.get();
+                    pending_[inst.get()] = std::move(copy);
+                }
+            }
+        }
+    }
+
+    Value *
+    shadowOf(Value *v) const
+    {
+        auto it = shadow_.find(v);
+        return it == shadow_.end() ? v : it->second;
+    }
+
+    /** Cloning pass 2: fill clone operands through the shadow map. */
+    void
+    fillShadowOperands()
+    {
+        for (BasicBlock *bb : origBlocks_) {
+            for (const auto &inst : bb->insts()) {
+                auto it = pending_.find(inst.get());
+                if (it == pending_.end() ||
+                    !isDuplicable(inst->opcode()))
+                    continue; // roots carry their operands already
+                Instruction *clone = it->second.get();
+                if (inst->is(Opcode::Phi)) {
+                    const auto &blocks = inst->incomingBlocks();
+                    for (size_t i = 0; i < inst->numOperands(); ++i) {
+                        clone->addIncoming(shadowOf(inst->operand(i)),
+                                           blocks[i]);
+                    }
+                } else {
+                    for (Value *op : inst->operands())
+                        clone->addOperand(shadowOf(op));
+                }
+            }
+        }
+    }
+
+    /** End the current segment with a branch-to-fault check. */
+    void
+    splitOnCondition(Value *mismatch)
+    {
+        BasicBlock *next =
+            func_.createBlock(func_.uniqueName("harden.seg"));
+        builder_.setInsertPoint(cur_);
+        builder_.condBr(mismatch, faultBB_, next);
+        cur_ = next;
+        builder_.setInsertPoint(cur_);
+    }
+
+    /**
+     * EDDI consistency check over (original, shadow) value pairs:
+     * OR-combined NE comparisons, then a segment split. Pairs whose
+     * shadow is the value itself (constants, globals, unprotected
+     * inputs) are trivially consistent and skipped; a check with only
+     * trivial pairs vanishes entirely.
+     */
+    void
+    emitPairCheck(const std::vector<Value *> &values)
+    {
+        builder_.setInsertPoint(cur_);
+        Value *acc = nullptr;
+        for (Value *v : values) {
+            Value *sh = shadowOf(v);
+            if (sh == v)
+                continue;
+            Instruction *ne =
+                v->type()->isFloatingPoint()
+                    ? builder_.fcmp(ir::CmpPred::NE, v, sh)
+                    : builder_.icmp(ir::CmpPred::NE, v, sh);
+            acc = acc ? builder_.binary(Opcode::Or, acc, ne) : ne;
+        }
+        if (acc)
+            splitOnCondition(acc);
+    }
+
+    /** Place a pending shadow clone right after its original. */
+    void
+    placeShadowFor(Instruction *orig)
+    {
+        auto it = pending_.find(orig);
+        if (it == pending_.end())
+            return;
+        cur_->append(std::move(it->second));
+        pending_.erase(it);
+    }
+
+    /**
+     * CFCSS runtime-adjusting value for the edge B -> T:
+     * sig(p1(T)) ^ sig(B); taking the edge leaves G == sig(T) after
+     * T's entry arithmetic iff the edge is legal.
+     */
+    int64_t
+    dValueFor(const BasicBlock *from, const BasicBlock *to) const
+    {
+        return sigConst(firstPred_.at(to)) ^ sigConst(from);
+    }
+
+    /** D := the adjusting value of whichever edge @p br takes. */
+    void
+    emitSignatureUpdate(BasicBlock *origBlock, Instruction *br)
+    {
+        builder_.setInsertPoint(cur_);
+        const auto &targets = br->blockTargets();
+        if (!br->isConditionalBranch()) {
+            builder_.store(c64(dValueFor(origBlock, targets[0])), dD_);
+            return;
+        }
+        int64_t dTrue = dValueFor(origBlock, targets[0]);
+        int64_t dFalse = dValueFor(origBlock, targets[1]);
+        if (dTrue == dFalse) {
+            builder_.store(c64(dTrue), dD_);
+            return;
+        }
+        Instruction *sel = builder_.select(br->operand(0), c64(dTrue),
+                                           c64(dFalse), "cfcss.d");
+        builder_.store(sel, dD_);
+    }
+
+    /**
+     * Block-entry signature check: G = G ^ (sig(p1) ^ sig(B)) ^ D
+     * must equal sig(B). Skipped for the entry block (no inbound
+     * edges to validate) and unreachable blocks (no p1).
+     */
+    void
+    emitSignatureCheck(BasicBlock *bb)
+    {
+        auto p1 = firstPred_.find(bb);
+        if (bb == origBlocks_.front() || p1 == firstPred_.end())
+            return;
+        builder_.setInsertPoint(cur_);
+        Instruction *g0 = builder_.load(dG_, "cfcss.g");
+        Instruction *g1 = builder_.binary(
+            Opcode::Xor, g0,
+            c64(sigConst(p1->second) ^ sigConst(bb)));
+        Instruction *d0 = builder_.load(dD_, "cfcss.d");
+        Instruction *g2 = builder_.binary(Opcode::Xor, g1, d0);
+        builder_.store(g2, dG_);
+        Instruction *bad =
+            builder_.icmp(ir::CmpPred::NE, g2, c64(sigConst(bb)));
+        splitOnCondition(bad);
+    }
+
+    /** Entry-block prelude: signature registers, argument copies. */
+    void
+    emitEntryPrelude()
+    {
+        builder_.setInsertPoint(cur_);
+        if (opts_.signatures) {
+            // G and D live in memory: the fault model only flips SSA
+            // values, so the signature state itself is not a fault
+            // target — only the loaded copies that feed the checks.
+            dG_ = builder_.alloca_(module_.types().i64Ty(), "cfcss.G");
+            dD_ = builder_.alloca_(module_.types().i64Ty(), "cfcss.D");
+            builder_.store(c64(sigConst(origBlocks_.front())), dG_);
+            builder_.store(c64(0), dD_);
+        }
+        for (auto &copy : argCopies_)
+            cur_->append(std::move(copy));
+        argCopies_.clear();
+    }
+
+    void
+    rebuildBlock(BasicBlock *bb)
+    {
+        std::vector<std::unique_ptr<Instruction>> insts;
+        while (!bb->empty())
+            insts.push_back(bb->detach(bb->front()));
+
+        cur_ = bb;
+        size_t idx = 0;
+
+        // Leading phi group: originals first, then their shadow
+        // clones (also phis, keeping the group contiguous).
+        std::vector<Instruction *> phis;
+        while (idx < insts.size() && insts[idx]->is(Opcode::Phi)) {
+            phis.push_back(insts[idx].get());
+            cur_->append(std::move(insts[idx]));
+            ++idx;
+        }
+        for (Instruction *phi : phis)
+            placeShadowFor(phi);
+
+        if (bb == origBlocks_.front())
+            emitEntryPrelude();
+        if (opts_.signatures)
+            emitSignatureCheck(bb);
+
+        for (; idx < insts.size(); ++idx) {
+            Instruction *inst = insts[idx].get();
+            if (opts_.signatures && inst->is(Opcode::Br))
+                emitSignatureUpdate(bb, inst);
+            if (opts_.duplicate)
+                emitChecksBefore(inst);
+            cur_->append(std::move(insts[idx]));
+            if (opts_.duplicate)
+                placeShadowFor(inst);
+        }
+        lastSeg_[bb] = cur_;
+    }
+
+    /** The EDDI observation points: where wrong values become real. */
+    void
+    emitChecksBefore(Instruction *inst)
+    {
+        switch (inst->opcode()) {
+          case Opcode::Store:
+            emitPairCheck({inst->operand(0), inst->operand(1)});
+            break;
+          case Opcode::Br:
+            if (inst->isConditionalBranch())
+                emitPairCheck({inst->operand(0)});
+            break;
+          case Opcode::Ret:
+            if (inst->numOperands() == 1)
+                emitPairCheck({inst->operand(0)});
+            break;
+          case Opcode::Call:
+            emitPairCheck(inst->operands());
+            break;
+          default:
+            break;
+        }
+    }
+
+    /**
+     * Predecessors still branch to the original block heads, but the
+     * edge into a successor now leaves the last segment: remap every
+     * phi incoming-block reference accordingly.
+     */
+    void
+    fixupPhiIncomings()
+    {
+        for (const auto &bb : func_.blocks()) {
+            for (const auto &inst : bb->insts()) {
+                if (!inst->is(Opcode::Phi))
+                    break;
+                const auto &incoming = inst->incomingBlocks();
+                for (size_t i = 0; i < incoming.size(); ++i) {
+                    auto it = lastSeg_.find(incoming[i]);
+                    if (it != lastSeg_.end() &&
+                        it->second != incoming[i])
+                        inst->setBlockTarget(i, it->second);
+                }
+            }
+        }
+    }
+
+    Module &module_;
+    Function &func_;
+    Function *trap_;
+    HardenOptions opts_;
+    ir::IRBuilder builder_;
+
+    std::vector<BasicBlock *> origBlocks_;
+    std::map<const BasicBlock *, int64_t> sig_;
+    std::map<const BasicBlock *, const BasicBlock *> firstPred_;
+    std::map<const BasicBlock *, BasicBlock *> lastSeg_;
+    std::map<Value *, Value *> shadow_;
+    std::map<const Instruction *, std::unique_ptr<Instruction>>
+        pending_;
+    std::vector<std::unique_ptr<Instruction>> argCopies_;
+    BasicBlock *faultBB_ = nullptr;
+    BasicBlock *cur_ = nullptr;
+    Instruction *dG_ = nullptr;
+    Instruction *dD_ = nullptr;
+};
+
+} // namespace
+
+void
+hardenFunction(Module &module, Function &func, Function *trap,
+               const HardenOptions &opts)
+{
+    if (func.isDeclaration())
+        return;
+    reproAssert(trap != nullptr && trap->isDeclaration(),
+                "harden: trap must be a declaration");
+    reproAssert(opts.duplicate || opts.signatures,
+                "harden: no pass selected");
+    Hardener(module, func, trap, opts).run();
+}
+
+} // namespace repro::transform

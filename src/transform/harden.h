@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reliability-hardening transformations (EDDI + CFCSS).
+ *
+ * Idiom replacement (transform/rewrite.h) rewrites code for
+ * performance; this file rewrites it for *reliability*, reusing the
+ * same plan/validate/commit machinery. Two classic software-implemented
+ * fault-tolerance passes are provided, modeled on EDDI (Oh et al.,
+ * "Error Detection by Duplicated Instructions") and CFCSS (Oh et al.,
+ * "Control-Flow Checking by Software Signatures"), in the spirit of
+ * ASPIS-style compiler hardening:
+ *
+ *  - **Instruction duplication** clones every duplicable computation
+ *    (arithmetic, loads, geps, comparisons, selects, phis, casts) into
+ *    a shadow data-flow that starts from identity copies of the
+ *    arguments. At every point where a wrong value becomes observable
+ *    — the value and address of a store, the condition of a
+ *    conditional branch, a returned value, every call argument — the
+ *    original and shadow are compared and execution branches to the
+ *    trap @__harden_fault (interp::kHardenTrapFunction) on mismatch.
+ *  - **Control-flow signature checking** assigns every original block
+ *    a compile-time signature, threads a runtime signature register G
+ *    (plus an adjusting register D for fan-in blocks) through memory,
+ *    and verifies on entry to every block that the signature arithmetic
+ *    lands on the block's own signature: an illegal jump — one not
+ *    following a CFG edge — is caught at the next block boundary.
+ *
+ * Both passes are scoped per function via the `__protect` MiniC
+ * annotation, which the frontend threads through as the "protect"
+ * function attribute ("protect:eddi" / "protect:cfcss" select a single
+ * pass). The RewriteEngine turns the attribute into a "harden"
+ * RewritePlan that claims *all* blocks of the function, so hardening
+ * composes deterministically with idiom replacement: overlap
+ * resolution is widest-claim-first, a whole-function claim beats any
+ * loop claim, and a protected function is hardened instead of
+ * API-rewritten (pinned by tests/test_harden.cpp).
+ *
+ * Known limits (documented in docs/HARDENING.md): duplicated FCmp NE
+ * checks misfire on NaN shadow pairs (NaN != NaN), so protected code
+ * should not compute NaNs; faults in the checking instructions
+ * themselves can escape detection (no check-the-checker redundancy).
+ */
+#ifndef TRANSFORM_HARDEN_H
+#define TRANSFORM_HARDEN_H
+
+#include <optional>
+
+#include "ir/function.h"
+
+namespace repro::transform {
+
+/** Which hardening passes hardenFunction applies. */
+struct HardenOptions
+{
+    bool duplicate = true;  ///< EDDI-style instruction duplication
+    bool signatures = true; ///< CFCSS-style control-flow signatures
+};
+
+/**
+ * Parse a "protect" attribute set into pass options: "protect" enables
+ * both passes, "protect:eddi" / "protect:cfcss" one. Returns nullopt
+ * when @p func carries no protect attribute.
+ */
+std::optional<HardenOptions> protectOptionsFor(const ir::Function &func);
+
+/**
+ * Get or create the module's shared trap declaration
+ * @__harden_fault : void(). Returns null when the name is taken by an
+ * incompatible function (wrong signature, or a definition); callers
+ * treat that as a validation failure, before any mutation.
+ */
+ir::Function *getOrCreateHardenTrap(ir::Module &module);
+
+/**
+ * Apply the configured hardening passes to @p func in place,
+ * branching to @p trap on every detected divergence. Infallible on
+ * verified IR: any invariant violation is an InternalError, not a
+ * recoverable failure — which is what lets the RewriteEngine commit
+ * hardening without an undo log of its own.
+ */
+void hardenFunction(ir::Module &module, ir::Function &func,
+                    ir::Function *trap, const HardenOptions &opts);
+
+} // namespace repro::transform
+
+#endif // TRANSFORM_HARDEN_H

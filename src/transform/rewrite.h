@@ -55,6 +55,7 @@
 
 #include "idioms/library.h"
 #include "transform/extract.h"
+#include "transform/harden.h"
 #include "transform/loop_shape.h"
 #include "transform/transform.h"
 
@@ -118,6 +119,20 @@ struct RewritePlan
      */
     ir::Value *resultReplaces = nullptr;
 
+    /**
+     * Reliability-hardening plan (kind "harden"): instead of an idiom
+     * replacement, commit applies the EDDI/CFCSS passes of
+     * transform/harden.h to the whole function. Such a plan claims
+     * EVERY block of its function — strictly more than any natural
+     * loop can claim (the entry block is never part of a loop) — so
+     * widest-claim-first overlap resolution deterministically hardens
+     * a `__protect`ed function instead of API-rewriting loops inside
+     * it. The loop shape stays empty; validate() has a dedicated
+     * early path for harden plans.
+     */
+    bool harden = false;
+    HardenOptions hardenOpts;
+
     /** Replacement record (function pointers filled in at commit). */
     Replacement record;
 };
@@ -157,6 +172,18 @@ class RewriteEngine
     /** Plan every match, in order (assigns matchIndex). */
     std::vector<RewritePlan>
     planAll(const std::vector<idioms::IdiomMatch> &matches);
+
+    /** Plan hardening of one function (claims all of its blocks). */
+    RewritePlan planHarden(ir::Function *func,
+                           const HardenOptions &opts);
+
+    /**
+     * Plan hardening for every definition carrying a protect
+     * attribute (frontend `__protect` annotation), assigning
+     * matchIndex values starting at @p firstMatchIndex so idiom plans
+     * keep commit-order priority on ties.
+     */
+    std::vector<RewritePlan> planHardenAll(size_t firstMatchIndex);
 
     /**
      * Drop plans whose block claims overlap an accepted plan's,
@@ -225,6 +252,17 @@ class RewriteEngine
                std::map<const ir::Value *, ir::Value *> &remap,
                std::map<ir::Function *, std::set<ir::Function *>>
                    &calleeUsers);
+
+    /**
+     * Apply a hardening plan. Fallible only BEFORE any mutation (a
+     * hostile module may hold an incompatible @__harden_fault), so no
+     * undo entries are needed: after the trap declaration resolves,
+     * hardenFunction is infallible on verified IR. A trap declaration
+     * created here is deliberately left behind on a later rollback of
+     * the same function — the same benign-leftover tradeoff the
+     * shared idiom callees make.
+     */
+    bool commitHarden(RewritePlan &plan);
 
     ir::Module &module_;
     int counter_ = 0;

@@ -6,6 +6,7 @@
 #include "interp/interpreter.h"
 #include "ir/printer.h"
 #include "ir/verifier.h"
+#include "driver/driver.h"
 #include "transform/binder.h"
 #include "transform/transform.h"
 
@@ -326,4 +327,118 @@ TEST(Transform, EngineMatchesReferenceOnTable1Suite)
     EXPECT_EQ(stencils, 6);
     EXPECT_EQ(matrix, 1);
     EXPECT_EQ(sparse, 3);
+}
+
+namespace {
+
+/**
+ * Negative-oracle fixture: a reduction program whose result is
+ * published through a single store to the `out` argument. The tamper
+ * hook drops exactly that store, so the watched output keeps its
+ * sentinel value and differential verification must notice.
+ */
+benchmarks::BenchmarkProgram
+dotProgram()
+{
+    benchmarks::BenchmarkProgram p;
+    p.name = "oracle-dot";
+    p.suite = "test";
+    p.entry = "dot";
+    p.source = R"(
+        double dot(int n, double *a, double *b, double *out) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s = s + a[i] * b[i];
+            out[0] = s;
+            return s;
+        }
+    )";
+    p.setup = [](interp::Memory &mem) {
+        const int n = 64;
+        benchmarks::Instance inst;
+        uint64_t a = mem.allocate(n * 8);
+        uint64_t b = mem.allocate(n * 8);
+        uint64_t out = mem.allocate(8);
+        for (int i = 0; i < n; ++i) {
+            mem.store<double>(a + 8 * i, 0.5 + 0.25 * i);
+            mem.store<double>(b + 8 * i, 2.0 - 0.125 * i);
+        }
+        mem.store<double>(out, -1.0); // sentinel the sabotage exposes
+        inst.args = {I(n), I(a), I(b), I(out)};
+        inst.watchDoubles = {{out, 1}};
+        return inst;
+    };
+    return p;
+}
+
+/** Erase every store whose pointer traces to argument @p argIndex of
+ *  @p fn (directly or through one GEP). */
+void
+dropStoresTo(ir::Function *fn, size_t argIndex)
+{
+    ir::Value *target = fn->arg(argIndex);
+    std::vector<ir::Instruction *> victims;
+    for (auto &bb : fn->blocks()) {
+        for (auto &inst : bb->insts()) {
+            if (inst->opcode() != ir::Opcode::Store)
+                continue;
+            ir::Value *ptr = inst->operand(1);
+            if (ptr == target) {
+                victims.push_back(inst.get());
+                continue;
+            }
+            auto *gep = dynamic_cast<ir::Instruction *>(ptr);
+            if (gep && gep->opcode() == ir::Opcode::GEP &&
+                gep->operand(0) == target)
+                victims.push_back(inst.get());
+        }
+    }
+    ASSERT_FALSE(victims.empty())
+        << "no store to argument " << argIndex << " found";
+    for (ir::Instruction *inst : victims)
+        inst->parent()->erase(inst);
+}
+
+} // namespace
+
+TEST(Transform, NegativeOracleDroppedStoreFailsVerification)
+{
+    benchmarks::BenchmarkProgram prog = dotProgram();
+    driver::MatchingDriver drv;
+
+    // The untampered pipeline must pass and must actually transform
+    // (the reduction loop is idiomatic), so the oracle below is
+    // exercising verification of rewritten code, not a no-op run.
+    driver::TransformVerification clean = drv.verifyTransform(prog);
+    ASSERT_TRUE(clean.ok()) << clean.error;
+    ASSERT_GE(clean.replacements, 1u);
+
+    // Sabotage: drop the store publishing the result. Verification
+    // must fail, and the failure must be attributed to the watched
+    // output comparison, not to an engine disagreement.
+    driver::TransformVerification broken = drv.verifyTransform(
+        prog, [](ir::Module &m) {
+            ir::Function *fn = m.functionByName("dot");
+            ASSERT_NE(fn, nullptr);
+            dropStoresTo(fn, 3);
+        });
+    EXPECT_FALSE(broken.ok());
+    EXPECT_NE(broken.error.find("watched double"), std::string::npos)
+        << broken.error;
+}
+
+TEST(Transform, NegativeOracleNullTamperMatchesPlainVerify)
+{
+    // The hook itself must not perturb verification: a present but
+    // empty tamper behaves exactly like the 1-argument overload.
+    benchmarks::BenchmarkProgram prog = dotProgram();
+    driver::MatchingDriver drv;
+    driver::TransformVerification hooked =
+        drv.verifyTransform(prog, [](ir::Module &) {});
+    EXPECT_TRUE(hooked.ok()) << hooked.error;
+    driver::TransformVerification plain = drv.verifyTransform(prog);
+    EXPECT_EQ(plain.ok(), hooked.ok());
+    EXPECT_EQ(plain.originalSteps, hooked.originalSteps);
+    EXPECT_EQ(plain.transformedSteps, hooked.transformedSteps);
+    EXPECT_EQ(plain.replacements, hooked.replacements);
 }
