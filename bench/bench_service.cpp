@@ -16,9 +16,13 @@
  *
  * Reported: cold-submission latency (first submit per client) vs
  * warm-submission p50/p99, the cache hit rate over the whole trace,
- * and the p50 cold/warm speedup. Written as BENCH_service.json so
- * the service layer's perf trajectory is tracked per commit (the
- * Release CI job uploads the file as an artifact).
+ * and the p50 cold/warm speedup. After the trace, the cache is
+ * snapshotted to disk and restored into a fresh service (a simulated
+ * daemon restart), measuring save/load cost and the warm-restart
+ * round: every client resubmitting its current module against the
+ * recovered cache. Written as BENCH_service.json so the service
+ * layer's perf trajectory is tracked per commit (the Release CI job
+ * uploads the file as an artifact).
  *
  * Flags:
  *   --json=PATH    output path (default BENCH_service.json)
@@ -34,7 +38,10 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_common.h"
+#include "driver/cache_snapshot.h"
 #include "service/service.h"
 
 using namespace repro;
@@ -219,6 +226,56 @@ main(int argc, char **argv)
         }
     }
 
+    // Snapshot + warm restart: persist the trace-heated cache, load
+    // it into a fresh service (what --snapshot= does across a daemon
+    // restart), and replay every client's current module. With the
+    // cache recovered, the restart round should be all replays.
+    const std::string snapPath =
+        "/tmp/bench_service_" + std::to_string(::getpid()) + ".snap";
+    double t0 = bench::nowMs();
+    auto saved = driver::saveSnapshot(svc.cache(), snapPath);
+    const double saveMs = bench::nowMs() - t0;
+    if (!saved.ok) {
+        std::fprintf(stderr, "FAIL: snapshot save: %s\n",
+                     saved.detail.c_str());
+        return 1;
+    }
+
+    service::MatchService restarted;
+    t0 = bench::nowMs();
+    auto loaded = driver::loadSnapshot(restarted.cache(), snapPath);
+    const double loadMs = bench::nowMs() - t0;
+    ::unlink(snapPath.c_str());
+    if (!loaded.ok || loaded.records != saved.records) {
+        std::fprintf(stderr,
+                     "FAIL: snapshot load: %zu of %zu records (%s)\n",
+                     loaded.records, saved.records,
+                     loaded.detail.c_str());
+        return 1;
+    }
+
+    std::vector<double> restartMs;
+    for (size_t c = 0; c < clients; ++c) {
+        const std::string module = "client" + std::to_string(c);
+        t0 = bench::nowMs();
+        auto outcome =
+            restarted.submit(module, moduleSource(knobs[c]));
+        restartMs.push_back(bench::nowMs() - t0);
+        if (!outcome.ok) {
+            std::fprintf(stderr, "FAIL: restart submit (%s): %s\n",
+                         module.c_str(), outcome.error.c_str());
+            return 1;
+        }
+    }
+    const auto restartCounters = restarted.cacheCounters();
+    const double restartHitRate =
+        restartCounters.hits + restartCounters.misses > 0
+            ? static_cast<double>(restartCounters.hits) /
+                  static_cast<double>(restartCounters.hits +
+                                      restartCounters.misses)
+            : 0.0;
+    const double restartP50 = percentile(restartMs, 0.50);
+
     const auto counters = svc.cacheCounters();
     const double hitRate =
         counters.hits + counters.misses > 0
@@ -254,6 +311,14 @@ main(int argc, char **argv)
     std::printf("  p50 cold/warm speedup %.1fx end-to-end, "
                 "%.1fx match phase\n",
                 speedup, matchSpeedup);
+    std::printf("  snapshot save %.3f ms, load %.3f ms "
+                "(%zu records, %llu bytes)\n",
+                saveMs, loadMs, saved.records,
+                static_cast<unsigned long long>(saved.bytes));
+    std::printf("  warm restart p50 %.3f ms, hit rate %.1f%% "
+                "(%zu submissions)\n",
+                restartP50, restartHitRate * 100.0,
+                restartMs.size());
 
     std::ofstream out(json_path);
     out << "{\n"
@@ -278,7 +343,14 @@ main(int argc, char **argv)
         << "  \"cache_hits\": " << counters.hits << ",\n"
         << "  \"cache_misses\": " << counters.misses << ",\n"
         << "  \"cache_evictions\": " << counters.evictions << ",\n"
-        << "  \"cache_hit_rate\": " << hitRate << "\n"
+        << "  \"cache_hit_rate\": " << hitRate << ",\n"
+        << "  \"snapshot_save_ms\": " << saveMs << ",\n"
+        << "  \"snapshot_load_ms\": " << loadMs << ",\n"
+        << "  \"snapshot_records\": " << saved.records << ",\n"
+        << "  \"snapshot_bytes\": " << saved.bytes << ",\n"
+        << "  \"restart_submissions\": " << restartMs.size() << ",\n"
+        << "  \"restart_p50_ms\": " << restartP50 << ",\n"
+        << "  \"restart_hit_rate\": " << restartHitRate << "\n"
         << "}\n";
     out.close();
     if (out.fail()) {
@@ -295,6 +367,15 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "FAIL: warm hit rate %.1f%% below 50%%\n",
                      hitRate * 100.0);
+        return 1;
+    }
+    // A restart that re-solves what the snapshot recovered defeats
+    // the persistence: every current body was cached pre-save, so
+    // the restart round must be overwhelmingly replays.
+    if (restartHitRate < 0.9) {
+        std::fprintf(stderr,
+                     "FAIL: warm-restart hit rate %.1f%% below 90%%\n",
+                     restartHitRate * 100.0);
         return 1;
     }
     return 0;

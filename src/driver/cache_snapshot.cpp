@@ -1,0 +1,451 @@
+#include "driver/cache_snapshot.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace repro::driver {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'M', 'C', 'S'};
+/** magic + version + idiomSetHash + recordCount (checksummed). */
+constexpr size_t kHeaderBodyBytes = 4 + 4 + 8 + 8;
+constexpr size_t kHeaderBytes = kHeaderBodyBytes + 8;
+/** payloadBytes + checksum framing in front of every record. */
+constexpr size_t kRecordFrameBytes = 4 + 8;
+
+uint64_t
+fnv1a64(const uint8_t *data, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+// Fixed-width little-endian encoding ---------------------------------
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+/**
+ * Bounds-checked reader over one record payload (or the header). A
+ * corrupted length can never run past `end`: every get reports
+ * failure instead, and the caller skips the record.
+ */
+struct Cursor
+{
+    const uint8_t *p;
+    const uint8_t *end;
+
+    size_t remaining() const { return static_cast<size_t>(end - p); }
+
+    bool
+    getU32(uint32_t *out)
+    {
+        if (remaining() < 4)
+            return false;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(p[i]) << (8 * i);
+        p += 4;
+        *out = v;
+        return true;
+    }
+
+    bool
+    getU64(uint64_t *out)
+    {
+        if (remaining() < 8)
+            return false;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(p[i]) << (8 * i);
+        p += 8;
+        *out = v;
+        return true;
+    }
+
+    bool
+    getU8(uint8_t *out)
+    {
+        if (remaining() < 1)
+            return false;
+        *out = *p++;
+        return true;
+    }
+
+    bool
+    getStr(std::string *out)
+    {
+        uint32_t len = 0;
+        if (!getU32(&len) || remaining() < len)
+            return false;
+        out->assign(reinterpret_cast<const char *>(p), len);
+        p += len;
+        return true;
+    }
+};
+
+void
+encodeRecord(std::string &payload, const CacheKey &key,
+             const CachedMatches &entry)
+{
+    putU64(payload, key.contentHash);
+    putU64(payload, key.idiomSetHash);
+    putU32(payload, entry.signature.numArgs);
+    putU32(payload, entry.signature.numBlocks);
+    putU32(payload, entry.signature.numInsts);
+    putU64(payload, entry.stats.assignments);
+    putU64(payload, entry.stats.checks);
+    putU64(payload, entry.stats.solutions);
+    putU64(payload, entry.stats.rotations);
+    putU64(payload, entry.stats.dedupHits);
+    putU32(payload, static_cast<uint32_t>(entry.matches.size()));
+    for (const PortableMatch &pm : entry.matches) {
+        putStr(payload, pm.idiom);
+        payload.push_back(static_cast<char>(pm.cls));
+        putU32(payload, static_cast<uint32_t>(pm.bindings.size()));
+        for (const auto &[name, pv] : pm.bindings) {
+            putStr(payload, name);
+            payload.push_back(static_cast<char>(pv.kind));
+            putU32(payload, pv.index);
+            putU64(payload, static_cast<uint64_t>(pv.bits));
+            putStr(payload, pv.text);
+        }
+    }
+}
+
+/**
+ * Strict payload parse: every count is implicitly bounded by the
+ * cursor (a hostile count simply runs out of bytes and fails), every
+ * enum is range-checked. Returns false on the first inconsistency.
+ */
+bool
+decodeRecord(Cursor cur, CacheKey *key, CachedMatches *entry)
+{
+    if (!cur.getU64(&key->contentHash) ||
+        !cur.getU64(&key->idiomSetHash))
+        return false;
+    if (!cur.getU32(&entry->signature.numArgs) ||
+        !cur.getU32(&entry->signature.numBlocks) ||
+        !cur.getU32(&entry->signature.numInsts))
+        return false;
+    if (!cur.getU64(&entry->stats.assignments) ||
+        !cur.getU64(&entry->stats.checks) ||
+        !cur.getU64(&entry->stats.solutions) ||
+        !cur.getU64(&entry->stats.rotations) ||
+        !cur.getU64(&entry->stats.dedupHits))
+        return false;
+    uint32_t numMatches = 0;
+    if (!cur.getU32(&numMatches))
+        return false;
+    // Each match occupies at least its idiom-length + class +
+    // binding-count fields; a flipped count past that bound is
+    // rejected before any reserve.
+    if (numMatches > cur.remaining() / (4 + 1 + 4))
+        return false;
+    entry->matches.reserve(numMatches);
+    for (uint32_t m = 0; m < numMatches; ++m) {
+        PortableMatch pm;
+        uint8_t cls = 0;
+        if (!cur.getStr(&pm.idiom) || !cur.getU8(&cls))
+            return false;
+        if (cls > static_cast<uint8_t>(idioms::IdiomClass::Other))
+            return false;
+        pm.cls = static_cast<idioms::IdiomClass>(cls);
+        uint32_t numBindings = 0;
+        if (!cur.getU32(&numBindings))
+            return false;
+        if (numBindings > cur.remaining() / (4 + 1 + 4 + 8 + 4))
+            return false;
+        pm.bindings.reserve(numBindings);
+        for (uint32_t b = 0; b < numBindings; ++b) {
+            std::string name;
+            PortableValue pv;
+            uint8_t kind = 0;
+            uint64_t bits = 0;
+            if (!cur.getStr(&name) || !cur.getU8(&kind) ||
+                !cur.getU32(&pv.index) || !cur.getU64(&bits) ||
+                !cur.getStr(&pv.text))
+                return false;
+            if (kind > static_cast<uint8_t>(PortableValue::Kind::Func))
+                return false;
+            pv.kind = static_cast<PortableValue::Kind>(kind);
+            pv.bits = static_cast<int64_t>(bits);
+            pm.bindings.emplace_back(std::move(name), std::move(pv));
+        }
+        entry->matches.push_back(std::move(pm));
+    }
+    // Trailing garbage inside a checksummed payload would mean the
+    // writer and reader disagree about the format: reject.
+    return cur.remaining() == 0;
+}
+
+/** write(2) the whole buffer, retrying on EINTR / short writes. */
+bool
+writeAll(int fd, const char *data, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::write(fd, data + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+/** fsync the directory containing @p path (commit the rename). */
+void
+syncParentDir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    if (dir.empty())
+        dir = "/";
+    int dfd = ::open(dir.c_str(), O_RDONLY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+} // namespace
+
+SnapshotResult
+saveSnapshot(const MatchCache &cache, const std::string &path)
+{
+    SnapshotResult result;
+    const auto entries = cache.entriesMruFirst();
+
+    std::string blob;
+    blob.append(kMagic, sizeof(kMagic));
+    putU32(blob, kSnapshotVersion);
+    putU64(blob, idioms::idiomSetHash());
+    putU64(blob, static_cast<uint64_t>(entries.size()));
+    putU64(blob,
+           fnv1a64(reinterpret_cast<const uint8_t *>(blob.data()),
+                   kHeaderBodyBytes));
+
+    std::string payload;
+    for (const auto &[key, entry] : entries) {
+        payload.clear();
+        encodeRecord(payload, key, *entry);
+        if (payload.size() > kMaxSnapshotRecordBytes) {
+            // Unserializable outlier: drop it rather than emit a
+            // record the loader is contractually required to skip.
+            ++result.skipped;
+            continue;
+        }
+        putU32(blob, static_cast<uint32_t>(payload.size()));
+        putU64(blob,
+               fnv1a64(reinterpret_cast<const uint8_t *>(
+                           payload.data()),
+                       payload.size()));
+        blob += payload;
+        ++result.records;
+    }
+    if (result.skipped > 0) {
+        // The header count must match the records actually framed.
+        std::string fixed(blob, 0, sizeof(kMagic) + 4 + 8);
+        putU64(fixed, static_cast<uint64_t>(result.records));
+        putU64(fixed,
+               fnv1a64(reinterpret_cast<const uint8_t *>(
+                           fixed.data()),
+                       kHeaderBodyBytes));
+        blob.replace(0, kHeaderBytes, fixed);
+        result.detail = "skipped " + std::to_string(result.skipped) +
+                        " oversized record(s)";
+    }
+
+    // Crash-only commit: temp file in the same directory, fsync,
+    // atomic rename over the destination, fsync the directory. A kill
+    // at any point leaves the previous committed snapshot intact.
+    const std::string tmp = path + ".tmp";
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        result.detail = "open(" + tmp + "): " + std::strerror(errno);
+        return result;
+    }
+    if (!writeAll(fd, blob.data(), blob.size())) {
+        result.detail = "write(" + tmp + "): " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return result;
+    }
+    if (::fsync(fd) != 0) {
+        result.detail = "fsync(" + tmp + "): " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return result;
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        result.detail = "rename to " + path + ": " +
+                        std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return result;
+    }
+    syncParentDir(path);
+    result.ok = true;
+    result.bytes = blob.size();
+    return result;
+}
+
+SnapshotResult
+loadSnapshot(MatchCache &cache, const std::string &path)
+{
+    SnapshotResult result;
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        result.detail = errno == ENOENT
+                            ? "no snapshot file (cold start)"
+                            : "open(" + path + "): " +
+                                  std::strerror(errno);
+        return result;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+        static_cast<uint64_t>(st.st_size) > kMaxSnapshotBytes) {
+        result.detail = "implausible snapshot size (cold start)";
+        ::close(fd);
+        return result;
+    }
+    std::vector<uint8_t> blob(static_cast<size_t>(st.st_size));
+    size_t off = 0;
+    while (off < blob.size()) {
+        ssize_t r = ::read(fd, blob.data() + off, blob.size() - off);
+        if (r < 0 && errno == EINTR)
+            continue;
+        if (r <= 0)
+            break;
+        off += static_cast<size_t>(r);
+    }
+    ::close(fd);
+    if (off != blob.size()) {
+        result.detail = "short read (cold start)";
+        return result;
+    }
+    result.bytes = blob.size();
+
+    // Header: anything untrustworthy here is a cold start — the
+    // record count below is only believed because it is checksummed.
+    if (blob.size() < kHeaderBytes ||
+        std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+        result.detail = "bad magic or truncated header (cold start)";
+        return result;
+    }
+    Cursor header{blob.data() + sizeof(kMagic),
+                  blob.data() + kHeaderBytes};
+    uint32_t version = 0;
+    uint64_t setHash = 0, recordCount = 0, headerSum = 0;
+    header.getU32(&version);
+    header.getU64(&setHash);
+    header.getU64(&recordCount);
+    header.getU64(&headerSum);
+    if (headerSum != fnv1a64(blob.data(), kHeaderBodyBytes)) {
+        result.detail = "header checksum mismatch (cold start)";
+        return result;
+    }
+    if (version != kSnapshotVersion) {
+        result.detail = "snapshot version " + std::to_string(version) +
+                        " != " + std::to_string(kSnapshotVersion) +
+                        " (cold start)";
+        return result;
+    }
+    if (setHash != idioms::idiomSetHash()) {
+        result.detail = "idiom set changed (cold start)";
+        return result;
+    }
+
+    // Records, MRU-first in the file. Collected, then restored in
+    // reverse so the cache's recency order survives the restart.
+    std::vector<std::pair<CacheKey, CachedMatches>> restored;
+    const uint8_t *p = blob.data() + kHeaderBytes;
+    const uint8_t *end = blob.data() + blob.size();
+    for (uint64_t i = 0; i < recordCount; ++i) {
+        if (static_cast<size_t>(end - p) < kRecordFrameBytes) {
+            result.skipped += recordCount - i;
+            result.detail = "truncated at record " +
+                            std::to_string(i) + " of " +
+                            std::to_string(recordCount);
+            break;
+        }
+        Cursor frame{p, p + kRecordFrameBytes};
+        uint32_t payloadBytes = 0;
+        uint64_t checksum = 0;
+        frame.getU32(&payloadBytes);
+        frame.getU64(&checksum);
+        p += kRecordFrameBytes;
+        if (payloadBytes == 0 ||
+            payloadBytes > kMaxSnapshotRecordBytes ||
+            payloadBytes > static_cast<size_t>(end - p)) {
+            // The length itself is implausible: resynchronization is
+            // impossible, everything from here on is lost.
+            result.skipped += recordCount - i;
+            result.detail = "unrecoverable framing at record " +
+                            std::to_string(i) + " of " +
+                            std::to_string(recordCount);
+            break;
+        }
+        const uint8_t *payload = p;
+        p += payloadBytes;
+        if (checksum != fnv1a64(payload, payloadBytes)) {
+            ++result.skipped;
+            continue; // framing is intact: skip just this record
+        }
+        CacheKey key;
+        CachedMatches entry;
+        if (!decodeRecord(Cursor{payload, payload + payloadBytes},
+                          &key, &entry)) {
+            ++result.skipped;
+            continue;
+        }
+        restored.emplace_back(key, std::move(entry));
+    }
+    if (p != end && result.detail.empty())
+        result.detail = "trailing bytes after last record";
+
+    for (auto it = restored.rbegin(); it != restored.rend(); ++it)
+        cache.restore(it->first, std::move(it->second));
+    result.records = restored.size();
+    result.ok = true;
+    if (result.skipped > 0 && result.detail.empty())
+        result.detail = std::to_string(result.skipped) +
+                        " corrupt record(s) skipped";
+    return result;
+}
+
+} // namespace repro::driver

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Crash-safe persistence of the MatchCache: the store behind warm
+ * daemon restarts.
+ *
+ * Cache entries are already module-independent (PortableMatch
+ * positions, constant bit patterns, global/function names — see
+ * driver/match_cache.h), so they serialize without any live IR. A
+ * snapshot is a single file:
+ *
+ *   header:  magic "RMCS" | u32 version | u64 idiomSetHash
+ *          | u64 recordCount | u64 fnv1a64(preceding 24 bytes)
+ *   record:  u32 payloadBytes | u64 fnv1a64(payload) | payload
+ *   payload: key (contentHash, idiomSetHash), StructuralSignature,
+ *            SolveStats, and the portable matches — all fixed-width
+ *            little-endian integers and u32-length-prefixed strings.
+ *
+ * Records are written MRU-first and restored in reverse, so a
+ * restarted daemon resumes with the exact recency order it crashed
+ * with (and capacity-bounded loads keep the hottest entries).
+ *
+ * Durability is crash-only: save() writes a temp file in the target
+ * directory, fsyncs it, atomically renames it over the destination
+ * and fsyncs the directory — a kill -9 at ANY point leaves either the
+ * previous committed snapshot or the new one, never a torn file.
+ *
+ * Recovery is strict-validation, never-trusting: every record is
+ * length-prefixed and checksummed, every count and string length is
+ * bounds-checked against the remaining payload, and enums are
+ * range-checked. A bit-flipped or truncated record is skipped (the
+ * length prefix resynchronizes to the next record); implausible
+ * framing, a version skew, a foreign idiom-set hash or a corrupt
+ * header degrade to a cold start. load() never throws and never
+ * crashes — and a wrong-but-well-formed record can still never replay
+ * wrongly, because MatchCache replay re-checks the StructuralSignature
+ * and re-anchors by membership on every hit.
+ */
+#ifndef DRIVER_CACHE_SNAPSHOT_H
+#define DRIVER_CACHE_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+
+#include "driver/match_cache.h"
+
+namespace repro::driver {
+
+/** Snapshot format revision (bump on any layout change). */
+constexpr uint32_t kSnapshotVersion = 1;
+
+/** Hard bound on one serialized record (corruption backstop). */
+constexpr size_t kMaxSnapshotRecordBytes = 4u * 1024 * 1024;
+
+/** Hard bound on a whole snapshot file (corruption backstop). */
+constexpr uint64_t kMaxSnapshotBytes = 256ull * 1024 * 1024;
+
+/** Outcome of one snapshot save or load, loggable by the daemon. */
+struct SnapshotResult
+{
+    /**
+     * save: the file was durably committed (temp + fsync + rename).
+     * load: a committed snapshot was recovered, fully or partially
+     * (false = cold start: file missing, header corrupt, version
+     * skew, or idiom set changed — `detail` says which).
+     */
+    bool ok = false;
+    /** Records written / restored. */
+    size_t records = 0;
+    /** load only: corrupt/truncated records skipped with a reason. */
+    size_t skipped = 0;
+    /** Snapshot file size in bytes (0 when missing). */
+    uint64_t bytes = 0;
+    /** Human-readable reason whenever something was not clean. */
+    std::string detail;
+};
+
+/**
+ * Serialize every cache entry to @p path atomically. Entries whose
+ * key does not match the current idioms::idiomSetHash() are written
+ * anyway (the header records the hash actually embedded in the keys —
+ * in practice all entries share it). Never throws; failures land in
+ * the result's `detail`.
+ */
+SnapshotResult saveSnapshot(const MatchCache &cache,
+                            const std::string &path);
+
+/**
+ * Restore entries from @p path into @p cache (respecting its current
+ * capacity; LRU order preserved). Strict validation per the file
+ * contract above: skip what is provably damaged, cold-start when the
+ * frame itself cannot be trusted. Never throws.
+ */
+SnapshotResult loadSnapshot(MatchCache &cache,
+                            const std::string &path);
+
+} // namespace repro::driver
+
+#endif // DRIVER_CACHE_SNAPSHOT_H

@@ -155,6 +155,7 @@ MatchingDriver::matchModule(ir::Module &module)
             fr.matches =
                 detector.detect(f.get(), analysesFor(f.get()));
             fr.stats = detector.stats();
+            fr.status = detector.status();
             accumulate(fr.stats);
             if (opts_.cache) {
                 auto it = cache_.find(f.get());
@@ -164,6 +165,7 @@ MatchingDriver::matchModule(ir::Module &module)
                                      : nullptr);
             }
         }
+        report.status = solver::worseStatus(report.status, fr.status);
         report.totals += fr.stats;
         report.functions.push_back(std::move(fr));
     }
@@ -209,6 +211,7 @@ MatchingDriver::matchShards(
         idioms::IdiomDetector detector(opts_.limits);
         fr.matches = detector.detect(func, fa);
         fr.stats = detector.stats();
+        fr.status = detector.status();
         workerStats[w] += fr.stats;
         if (opts_.cache) {
             // The worker's analyses are stack-owned and die with the
@@ -261,6 +264,8 @@ MatchingDriver::runParallelBatch(
     for (size_t m = 0; m < modules.size(); ++m) {
         for (const auto &fr : reports[m].functions) {
             reports[m].totals += fr.stats;
+            reports[m].status =
+                solver::worseStatus(reports[m].status, fr.status);
             if (opts_.cache) {
                 fr.fromCache ? ++reports[m].cacheHits
                              : ++reports[m].cacheMisses;
@@ -662,6 +667,13 @@ MatchingDriver::storeSolveResult(
     ir::Function *func, const FunctionReport &fr,
     std::shared_ptr<analysis::FunctionAnalyses> analyses)
 {
+    // A degraded solve (budget/deadline) found a valid but possibly
+    // incomplete match set. Caching it would freeze the truncation:
+    // every later resubmission would replay the partial result as if
+    // it were complete. Leave the key cold so a warm resubmit
+    // re-solves under whatever budget it arrives with.
+    if (fr.status != solver::SolveStatus::Complete)
+        return;
     CachedMatches entry;
     if (!MatchCache::capture(fr.matches, func, &entry.matches))
         return;

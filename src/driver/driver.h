@@ -77,6 +77,15 @@ struct FunctionReport
     uint64_t contentHash = 0;
     /** True when the result was replayed from the match cache. */
     bool fromCache = false;
+    /**
+     * Worst solve status across this function's idiom solves.
+     * Non-Complete means the matches are valid but possibly
+     * incomplete; such results are reported to the caller and NEVER
+     * deposited into the match cache (a later resubmission re-solves
+     * instead of replaying a truncated result). Replayed entries are
+     * always Complete — degraded results are uncacheable.
+     */
+    solver::SolveStatus status = solver::SolveStatus::Complete;
 };
 
 /**
@@ -99,6 +108,14 @@ struct MatchReport
      *  zero when no cache is attached. */
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
+    /** Worst per-function solve status (see FunctionReport::status). */
+    solver::SolveStatus status = solver::SolveStatus::Complete;
+
+    /** True when some solve stopped at a budget/deadline limit. */
+    bool degraded() const
+    {
+        return status != solver::SolveStatus::Complete;
+    }
 
     /** All matches flattened in module order. */
     std::vector<idioms::IdiomMatch> allMatches() const;
@@ -321,6 +338,18 @@ class MatchingDriver
     const solver::SolveStats &totals() const { return totals_; }
 
     const DriverOptions &options() const { return opts_; }
+
+    /**
+     * Replace the solver limits for subsequent solves. The service
+     * front uses this to apply a per-request wall-clock deadline
+     * (SolverLimits::deadline) to a long-lived session driver; the
+     * caller must serialize this against concurrent runs (MatchService
+     * holds its session mutex across set + match).
+     */
+    void setSolverLimits(const solver::SolverLimits &limits)
+    {
+        opts_.limits = limits;
+    }
 
     /** Attach (or detach, with nullptr) the cross-request cache. */
     void attachCache(std::shared_ptr<MatchCache> cache);

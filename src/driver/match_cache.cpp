@@ -28,6 +28,22 @@ void
 MatchCache::insert(const CacheKey &key, CachedMatches value)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, std::move(value));
+    ++counters_.insertions;
+    evictOverCapacityLocked();
+}
+
+void
+MatchCache::restore(const CacheKey &key, CachedMatches value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, std::move(value));
+    evictOverCapacityLocked();
+}
+
+void
+MatchCache::insertLocked(const CacheKey &key, CachedMatches value)
+{
     auto entry = std::make_shared<CachedMatches>(std::move(value));
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -37,8 +53,18 @@ MatchCache::insert(const CacheKey &key, CachedMatches value)
         lru_.emplace_front(key, std::move(entry));
         index_[key] = lru_.begin();
     }
-    ++counters_.insertions;
-    evictOverCapacityLocked();
+}
+
+std::vector<std::pair<CacheKey, std::shared_ptr<const CachedMatches>>>
+MatchCache::entriesMruFirst() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<CacheKey, std::shared_ptr<const CachedMatches>>>
+        out;
+    out.reserve(lru_.size());
+    for (const auto &[key, entry] : lru_)
+        out.emplace_back(key, entry);
+    return out;
 }
 
 void

@@ -205,6 +205,23 @@ class MatchCache
     /** Drop every entry (counters survive; eviction count grows). */
     void clear();
 
+    /**
+     * Every entry in MRU-first order, without touching recency or
+     * counters. The snapshot writer (driver/cache_snapshot.h) walks
+     * this; entries are shared_ptrs, so a concurrent insert/evict
+     * never invalidates the returned view.
+     */
+    std::vector<std::pair<CacheKey, std::shared_ptr<const CachedMatches>>>
+    entriesMruFirst() const;
+
+    /**
+     * Insert without counting an insertion: the snapshot loader's
+     * path, so a restart's recovered entries do not masquerade as
+     * request-driven cache activity in STATS. Same LRU/eviction
+     * behavior as insert().
+     */
+    void restore(const CacheKey &key, CachedMatches value);
+
     // Portable encoding ---------------------------------------------------
 
     /** The structural signature of @p func (arg/block/inst counts). */
@@ -236,6 +253,7 @@ class MatchCache
     using LruList =
         std::list<std::pair<CacheKey, std::shared_ptr<CachedMatches>>>;
 
+    void insertLocked(const CacheKey &key, CachedMatches value);
     void evictOverCapacityLocked();
 
     mutable std::mutex mutex_;

@@ -744,6 +744,7 @@ IdiomDetector::runIdiom(ir::Function *func, const std::string &idiom,
                             limits_);
     }
     stats_ += solver.stats();
+    status_ = solver::worseStatus(status_, solver.lastStatus());
 
     // Deduplicate by anchor variable: one match per anchored
     // instruction regardless of how many assignments the disjunctions

@@ -130,6 +130,14 @@ class IdiomDetector
     /** Accumulated solver statistics. */
     const solver::SolveStats &stats() const { return stats_; }
 
+    /**
+     * Worst solve status across every solve this detector ran:
+     * Complete unless some idiom's search stopped at a budget or
+     * deadline limit — in which case the match lists are valid but
+     * possibly incomplete (degraded, not wrong).
+     */
+    solver::SolveStatus status() const { return status_; }
+
     /** Limits applied to every constraint solve. */
     const solver::SolverLimits &limits() const { return limits_; }
 
@@ -139,6 +147,7 @@ class IdiomDetector
                                      analysis::FunctionAnalyses &fa);
 
     solver::SolveStats stats_;
+    solver::SolveStatus status_ = solver::SolveStatus::Complete;
     solver::SolverLimits limits_;
 };
 

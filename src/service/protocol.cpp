@@ -60,14 +60,25 @@ parseRequest(const std::string &line)
             return invalid("HELLO takes no arguments");
         r.verb = Request::Verb::Hello;
     } else if (verb == "SUBMIT") {
-        if (tokens.size() != 3)
-            return invalid("usage: SUBMIT <module> <nbytes|<<TERM>");
+        if (tokens.size() != 3 && tokens.size() != 4) {
+            return invalid("usage: SUBMIT <module> <nbytes|<<TERM> "
+                           "[DEADLINE_MS=<n>]");
+        }
         r.module = tokens[1];
         if (tokens[2].size() > 2 && tokens[2][0] == '<' &&
             tokens[2][1] == '<') {
             r.terminator = tokens[2].substr(2);
         } else if (!parseSize(tokens[2], &r.payloadBytes)) {
             return invalid("SUBMIT payload size is not a number");
+        }
+        if (tokens.size() == 4) {
+            const std::string &opt = tokens[3];
+            const std::string prefix = "DEADLINE_MS=";
+            size_t millis = 0;
+            if (opt.compare(0, prefix.size(), prefix) != 0 ||
+                !parseSize(opt.substr(prefix.size()), &millis))
+                return invalid("bad SUBMIT option: " + opt);
+            r.deadlineMillis = millis;
         }
         r.verb = Request::Verb::Submit;
     } else if (verb == "MATCHES") {
@@ -145,6 +156,10 @@ formatSubmitResponse(const SubmitOutcome &outcome)
                       " compile_ms=%.3f match_ms=%.3f",
                       outcome.compileMillis, outcome.matchMillis);
         os << ms;
+        // Appended last so existing clients parsing the fixed prefix
+        // keep working; only degraded responses carry the key at all.
+        if (!outcome.degraded.empty())
+            os << " degraded=" << outcome.degraded;
         lines.push_back(os.str());
     }
     for (const auto &fo : outcome.perFunction) {

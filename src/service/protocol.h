@@ -10,8 +10,8 @@
  * grammar lives in docs/SERVICE.md.
  *
  *   HELLO
- *   SUBMIT <module> <nbytes>\n<nbytes of MiniC source>
- *   SUBMIT <module> <<TERM\n<source lines...>\nTERM
+ *   SUBMIT <module> <nbytes> [DEADLINE_MS=<n>]\n<nbytes of source>
+ *   SUBMIT <module> <<TERM [DEADLINE_MS=<n>]\n<source lines...>\nTERM
  *   MATCHES <module>
  *   STATS
  *   CAPACITY <n>
@@ -68,6 +68,8 @@ struct Request
     size_t payloadBytes = 0; ///< SUBMIT counted form
     std::string terminator; ///< SUBMIT heredoc form; empty otherwise
     size_t capacity = 0;    ///< CAPACITY
+    /** SUBMIT per-request solve deadline; 0 = daemon default. */
+    uint64_t deadlineMillis = 0;
     std::string error;      ///< Verb::Invalid diagnosis
 };
 

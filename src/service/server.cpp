@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <exception>
 #include <istream>
@@ -120,8 +121,14 @@ class FdIO final : public LineIO
     {
         size_t sent = 0;
         while (sent < data.size()) {
-            ssize_t n = ::write(fd_, data.data() + sent,
-                                data.size() - sent);
+            // MSG_NOSIGNAL: a client that vanished between our read
+            // and this write must yield EPIPE, not a process-fatal
+            // SIGPIPE (the daemon additionally ignores SIGPIPE, but
+            // a library user of SocketServer may not).
+            ssize_t n = ::send(fd_, data.data() + sent,
+                               data.size() - sent, MSG_NOSIGNAL);
+            if (n < 0 && errno == EINTR)
+                continue;
             if (n <= 0)
                 return false;
             sent += static_cast<size_t>(n);
@@ -134,7 +141,10 @@ class FdIO final : public LineIO
     fill()
     {
         char chunk[4096];
-        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        ssize_t n;
+        do {
+            n = ::read(fd_, chunk, sizeof(chunk));
+        } while (n < 0 && errno == EINTR);
         if (n <= 0)
             return false;
         buffer_.assign(chunk, chunk + n);
@@ -208,9 +218,41 @@ readPayload(LineIO &io, const Request &request, std::string *source)
     return PayloadStatus::Ok;
 }
 
+/**
+ * In-flight SUBMIT gate shared by a server's connections. nullptr
+ * (the REPL) admits everything.
+ */
+struct AdmissionGate
+{
+    std::atomic<size_t> &inFlight;
+    size_t maxInFlight;
+    uint64_t busyRetryMs;
+
+    /** Try to take a slot; the caller must release() iff true. */
+    bool
+    acquire()
+    {
+        size_t cur = inFlight.load();
+        do {
+            if (cur >= maxInFlight)
+                return false;
+        } while (!inFlight.compare_exchange_weak(cur, cur + 1));
+        return true;
+    }
+
+    void release() { --inFlight; }
+};
+
+std::string
+busyLine(uint64_t retryMs)
+{
+    return "BUSY retry_after_ms=" + std::to_string(retryMs) + "\n";
+}
+
 /** The shared command loop; returns the number of requests served. */
 size_t
-serveConnection(MatchService &service, LineIO &io)
+serveConnection(MatchService &service, LineIO &io,
+                AdmissionGate *gate = nullptr)
 {
     size_t requests = 0;
     std::string line;
@@ -249,11 +291,28 @@ serveConnection(MatchService &service, LineIO &io)
                 if (request.terminator.empty())
                     return requests;
                 break;
-              case PayloadStatus::Ok:
-                writeLines(io, formatSubmitResponse(
-                                   service.submit(request.module,
-                                                  source)));
+              case PayloadStatus::Ok: {
+                // The gate is taken only now, with the payload fully
+                // consumed: shedding earlier would leave unread
+                // payload bytes to be misparsed as request lines.
+                if (gate && !gate->acquire()) {
+                    io.write(busyLine(gate->busyRetryMs));
+                    break;
+                }
+                SubmitOutcome outcome;
+                try {
+                    outcome = service.submit(request.module, source,
+                                             request.deadlineMillis);
+                } catch (...) {
+                    if (gate)
+                        gate->release();
+                    throw;
+                }
+                if (gate)
+                    gate->release();
+                writeLines(io, formatSubmitResponse(outcome));
                 break;
+              }
             }
             break;
           }
@@ -317,6 +376,11 @@ struct SocketServer::Connection
 {
     std::atomic<int> fd{-1};
     std::thread thread;
+    /**
+     * Set by the handler after it closed its fd (under connMutex_):
+     * the accept loop may then join the thread and free the slot.
+     */
+    std::atomic<bool> done{false};
 };
 
 SocketServer::SocketServer(MatchService &service, ServerOptions opts)
@@ -406,13 +470,33 @@ SocketServer::acceptLoop()
         int fd = ::accept(lfd, nullptr, nullptr);
         if (fd < 0)
             return; // listen fd closed by stop()
+
+        // Retire finished handlers first: without reaping, a flood of
+        // short-lived connections would grow connections_ (and keep
+        // one exited-but-unjoined thread each) without bound.
+        reapFinishedConnections();
+
+        // Connection-count admission: shed with a backoff hint
+        // instead of accumulating a thread per flood connection. The
+        // BUSY write is best-effort — the client may already be gone.
+        if (liveConnections_.load() >= opts_.maxConnections) {
+            std::string busy = busyLine(opts_.busyRetryMs);
+            (void)!::send(fd, busy.data(), busy.size(),
+                          MSG_NOSIGNAL);
+            ::close(fd);
+            continue;
+        }
+
+        ++liveConnections_;
         auto conn = std::make_unique<Connection>();
         Connection *raw = conn.get();
         raw->fd.store(fd);
         raw->thread = std::thread([this, raw] {
             try {
                 FdIO io(raw->fd.load());
-                serveConnection(service_, io);
+                AdmissionGate gate{inFlight_, opts_.maxInFlight,
+                                   opts_.busyRetryMs};
+                serveConnection(service_, io, &gate);
             } catch (...) {
                 // Last-resort backstop: an exception escaping a
                 // detached-from-main handler would std::terminate
@@ -421,13 +505,42 @@ SocketServer::acceptLoop()
             // Close under connMutex_ so stop() can never observe the
             // fd between this close and a kernel-side reuse of its
             // number (its shutdown pass holds the same mutex).
-            std::lock_guard<std::mutex> lock(connMutex_);
-            int cfd = raw->fd.exchange(-1);
-            if (cfd >= 0)
-                ::close(cfd);
+            {
+                std::lock_guard<std::mutex> lock(connMutex_);
+                int cfd = raw->fd.exchange(-1);
+                if (cfd >= 0)
+                    ::close(cfd);
+            }
+            --liveConnections_;
+            // Last: after this store the accept loop may join us.
+            raw->done.store(true);
         });
         std::lock_guard<std::mutex> lock(connMutex_);
         connections_.push_back(std::move(conn));
+    }
+}
+
+void
+SocketServer::reapFinishedConnections()
+{
+    std::vector<std::unique_ptr<Connection>> finished;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        auto split = std::stable_partition(
+            connections_.begin(), connections_.end(),
+            [](const std::unique_ptr<Connection> &c) {
+                return !c->done.load();
+            });
+        for (auto it = split; it != connections_.end(); ++it)
+            finished.push_back(std::move(*it));
+        connections_.erase(split, connections_.end());
+    }
+    // Join outside connMutex_: a handler's own close takes that
+    // mutex, and done=true only proves it is past the close, not
+    // that the thread has fully exited.
+    for (auto &conn : finished) {
+        if (conn->thread.joinable())
+            conn->thread.join();
     }
 }
 

@@ -41,6 +41,21 @@ struct ServerOptions
     std::string unixPath;
     /** Loopback TCP port (-1 = disabled, 0 = ephemeral). */
     int tcpPort = -1;
+
+    // Overload protection: past either bound the daemon sheds load
+    // with `BUSY retry_after_ms=<n>` instead of queueing unboundedly
+    // (connections each cost a thread; SUBMITs each cost a solve).
+
+    /** Concurrent connections admitted; excess get BUSY + close. */
+    size_t maxConnections = 64;
+    /**
+     * SUBMITs allowed in flight at once. The gate is taken after the
+     * payload is read (the stream stays in sync), so a shed SUBMIT
+     * costs I/O but no compile/solve, and the connection survives.
+     */
+    size_t maxInFlight = 8;
+    /** Client backoff hint carried by every BUSY response. */
+    uint64_t busyRetryMs = 100;
 };
 
 /** The daemon's socket front. */
@@ -69,6 +84,7 @@ class SocketServer
 
   private:
     void acceptLoop();
+    void reapFinishedConnections();
 
     MatchService &service_;
     ServerOptions opts_;
@@ -77,6 +93,11 @@ class SocketServer
     int boundPort_ = -1;
     bool running_ = false;
     std::thread acceptThread_;
+
+    /** Live (admitted, not yet finished) connections. */
+    std::atomic<size_t> liveConnections_{0};
+    /** SUBMITs currently compiling/solving (admission gate). */
+    std::atomic<size_t> inFlight_{0};
 
     struct Connection;
     std::vector<std::unique_ptr<Connection>> connections_;

@@ -26,7 +26,8 @@ MatchService::MatchService(ServiceOptions opts)
 
 SubmitOutcome
 MatchService::submit(const std::string &moduleName,
-                     const std::string &source)
+                     const std::string &source,
+                     uint64_t deadlineMillis)
 {
     std::lock_guard<std::mutex> lock(mutex_);
 
@@ -52,11 +53,20 @@ MatchService::submit(const std::string &moduleName,
     // retires analyses deposited in the MatchCache, so recycled
     // addresses can never revive them.)
     driver_.invalidateAll();
+    // The deadline clock starts when the solve starts, not when the
+    // request was parsed: compile time is not solver effort. mutex_
+    // serializes submissions, so setSolverLimits never races.
+    uint64_t effectiveDeadline = deadlineMillis != 0
+                                     ? deadlineMillis
+                                     : opts_.defaultDeadlineMillis;
+    driver_.setSolverLimits(solver::SolverLimits::withDeadline(
+        opts_.limits, effectiveDeadline));
     t0 = std::chrono::steady_clock::now();
     driver::MatchReport report = driver_.matchModule(*module);
     outcome.matchMillis = millisSince(t0);
 
     outcome.ok = true;
+    outcome.degraded = solver::solveStatusToken(report.status);
     outcome.functions = report.functions.size();
     outcome.matches = report.matchCount();
     outcome.cacheHits = report.cacheHits;

@@ -42,6 +42,13 @@ struct ServiceOptions
     solver::SolverLimits limits;
     /** Match-cache entry bound (LRU beyond this). */
     size_t cacheCapacity = driver::MatchCache::kDefaultCapacity;
+    /**
+     * Solve deadline applied to every submission that does not carry
+     * its own DEADLINE_MS; 0 = unbounded. Deadline expiry degrades
+     * the response (partial matches, degraded=deadline), it never
+     * fails it.
+     */
+    uint64_t defaultDeadlineMillis = 0;
 };
 
 /** One matched idiom instance, in wire-friendly form. */
@@ -70,6 +77,15 @@ struct SubmitOutcome
     /** Compile diagnostics (first line) when !ok. */
     std::string error;
 
+    /**
+     * Empty for a complete solve; "budget" / "deadline" when the
+     * solver gave up early. The matches listed are then valid but
+     * possibly incomplete — and were NOT deposited into the shared
+     * cache, so a later resubmission re-solves instead of replaying
+     * the truncated result.
+     */
+    std::string degraded;
+
     size_t functions = 0;
     size_t matches = 0;
     /** Functions replayed from / missed in the shared cache. */
@@ -93,9 +109,15 @@ class MatchService
      * replaying every function already known to the cache. Replaces
      * the module's previous session on success; on a compile error
      * the previous session (if any) survives untouched.
+     *
+     * @p deadlineMillis bounds the solve wall-clock (0 = fall back
+     * to ServiceOptions::defaultDeadlineMillis; 0 there too =
+     * unbounded). An expired deadline still succeeds, with
+     * SubmitOutcome::degraded set and partial matches.
      */
     SubmitOutcome submit(const std::string &moduleName,
-                         const std::string &source);
+                         const std::string &source,
+                         uint64_t deadlineMillis = 0);
 
     /** The last successful outcome for @p moduleName, if any. */
     bool lastOutcome(const std::string &moduleName,
@@ -116,6 +138,15 @@ class MatchService
 
     /** Identity of the idiom set all cache keys embed. */
     uint64_t idiomSetHash() const;
+
+    /**
+     * The shared match cache, for snapshot save/load (see
+     * driver/cache_snapshot.h). The cache is internally synchronized,
+     * so snapshotting while requests run is safe — the writer walks a
+     * shared_ptr view, never the live LRU list.
+     */
+    driver::MatchCache &cache() { return *cache_; }
+    const driver::MatchCache &cache() const { return *cache_; }
 
   private:
     struct Session

@@ -12,6 +12,26 @@ namespace repro::solver {
 
 using ir::Value;
 
+const char *
+solveStatusToken(SolveStatus status)
+{
+    switch (status) {
+      case SolveStatus::BudgetExhausted:
+        return "budget";
+      case SolveStatus::DeadlineExceeded:
+        return "deadline";
+      case SolveStatus::Complete:
+        break;
+    }
+    return "";
+}
+
+SolveStatus
+worseStatus(SolveStatus a, SolveStatus b)
+{
+    return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
 std::vector<const Value *>
 Solution::lookupArray(const std::string &pattern) const
 {
@@ -97,6 +117,37 @@ Node::str(int indent) const
 namespace {
 
 /**
+ * Private unwind token of both engines: thrown by budgetCheck() when
+ * a limit trips, caught at the top of run(), never escapes the
+ * solver. Deliberately NOT a FatalError — real fatal errors (bad
+ * atomics, broken programs) must propagate to the caller, while limit
+ * exhaustion is a normal, degradable outcome carried in SolveStatus
+ * with the solutions found so far.
+ */
+struct SearchAborted
+{
+    SolveStatus reason;
+};
+
+/** Deadline probe shared by both engines (strided off the hot path). */
+inline void
+deadlineCheck(const SolverLimits &limits, uint64_t assignments)
+{
+    if (limits.hasDeadline() &&
+        (assignments & (SolverLimits::kDeadlineCheckStride - 1)) == 0 &&
+        std::chrono::steady_clock::now() >= limits.deadline)
+        throw SearchAborted{SolveStatus::DeadlineExceeded};
+}
+
+/** Entry probe: an already-expired deadline does zero search work. */
+inline bool
+deadlineExpired(const SolverLimits &limits)
+{
+    return limits.hasDeadline() &&
+           std::chrono::steady_clock::now() >= limits.deadline;
+}
+
+/**
  * The compiled search: recursive backtracking over a slot-addressed
  * CompiledProgram.
  *
@@ -135,9 +186,17 @@ class CompiledSearch
     /** Dense bindings; pre-seed before run() for collect sub-search. */
     SlotBindings slots;
 
+    /** How the most recent run() ended. */
+    SolveStatus status = SolveStatus::Complete;
+
     void
     run(uint32_t root)
     {
+        status = SolveStatus::Complete;
+        if (deadlineExpired(limits_)) {
+            status = SolveStatus::DeadlineExceeded;
+            return;
+        }
         // Reusable across runs (the collect sub-search pool below):
         // only first-run state is allocated, stale dedup stamps are
         // neutralized by the monotonic epoch, and the goal ring keeps
@@ -164,8 +223,9 @@ class CompiledSearch
         depth_ = 0;
         try {
             search(0);
-        } catch (const FatalError &) {
-            // Budget exceeded: return the solutions found so far.
+        } catch (const SearchAborted &aborted) {
+            // Limit tripped: return the solutions found so far.
+            status = aborted.reason;
         }
     }
 
@@ -174,7 +234,8 @@ class CompiledSearch
     budgetCheck()
     {
         if (++stats_.assignments > limits_.maxAssignments)
-            throw FatalError("solver budget exceeded");
+            throw SearchAborted{SolveStatus::BudgetExhausted};
+        deadlineCheck(limits_, stats_.assignments);
     }
 
     void
@@ -556,6 +617,7 @@ CompiledSearch::runCollects(size_t ci)
         SolverLimits sublimits;
         sublimits.maxSolutions = static_cast<size_t>(col.collectMax);
         sublimits.maxAssignments = limits_.maxAssignments;
+        sublimits.deadline = limits_.deadline;
         slot = std::make_unique<SubSearch>(prog_, ctx_, stats_,
                                            sublimits);
     }
@@ -563,6 +625,11 @@ CompiledSearch::runCollects(size_t ci)
     sub.results.clear();
     sub.search.slots = slots;
     sub.search.run(col.body);
+    // A sub-search that hit a limit kept its partial collect; the
+    // emitted solution is then degraded too, so the abort reason must
+    // surface on the outer search (the shared assignments counter
+    // already guarantees the budget case re-trips out here).
+    status = worseStatus(status, sub.search.status);
 
     // Dedup by the '#'-marked template slots only.
     std::set<std::string> seen;
@@ -610,14 +677,23 @@ class ReferenceSearch
 
     Bindings bindings;
 
+    /** How the most recent run() ended. */
+    SolveStatus status = SolveStatus::Complete;
+
     void
     run(const Node *root)
     {
+        status = SolveStatus::Complete;
+        if (deadlineExpired(limits_)) {
+            status = SolveStatus::DeadlineExceeded;
+            return;
+        }
         std::vector<const Node *> goals{root};
         try {
             search(goals, 0, 0);
-        } catch (const FatalError &) {
-            // Budget exceeded: return the solutions found so far.
+        } catch (const SearchAborted &aborted) {
+            // Limit tripped: return the solutions found so far.
+            status = aborted.reason;
         }
     }
 
@@ -626,7 +702,8 @@ class ReferenceSearch
     budgetCheck()
     {
         if (++stats_.assignments > limits_.maxAssignments)
-            throw FatalError("solver budget exceeded");
+            throw SearchAborted{SolveStatus::BudgetExhausted};
+        deadlineCheck(limits_, stats_.assignments);
     }
 
     void
@@ -807,9 +884,11 @@ class ReferenceSearch
         sublimits.maxSolutions =
             static_cast<size_t>(col->collectMax);
         sublimits.maxAssignments = limits_.maxAssignments;
+        sublimits.deadline = limits_.deadline;
         ReferenceSearch sub(ctx_, stats_, sublimits, subresults);
         sub.bindings = bindings;
         sub.run(col->collectBody.get());
+        status = worseStatus(status, sub.status);
 
         // Dedup by the '#'-indexed variables only.
         std::set<std::string> seen;
@@ -893,6 +972,7 @@ Solver::solveAll(const CompiledProgram &program,
     std::vector<SlotBindings> snapshots;
     CompiledSearch state(program, ctx, stats_, limits, snapshots);
     state.run(program.root());
+    lastStatus_ = state.status;
 
     // Materialize the name-keyed Solutions the rest of the pipeline
     // consumes. orderedSlots() is lexicographic, so the hinted
@@ -931,6 +1011,7 @@ Solver::solveAllReference(const ConstraintProgram &program,
     ctx.index = &index_;
     ReferenceSearch state(ctx, stats_, limits, results);
     state.run(program.root.get());
+    lastStatus_ = state.status;
     return results;
 }
 

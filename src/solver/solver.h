@@ -25,6 +25,7 @@
 #ifndef SOLVER_SOLVER_H
 #define SOLVER_SOLVER_H
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <set>
@@ -82,11 +83,62 @@ struct SolveStats
     }
 };
 
+/**
+ * How a solve ended. Search-budget exhaustion is a *normal, degradable
+ * outcome* for a combinatorial matcher serving interactive traffic —
+ * not an internal failure — so exceeding a limit never throws out of
+ * the solver: the search stops, keeps every solution found so far,
+ * and reports why it stopped through this status.
+ */
+enum class SolveStatus : uint8_t
+{
+    Complete,         ///< the search space was exhausted
+    BudgetExhausted,  ///< stopped at SolverLimits::maxAssignments
+    DeadlineExceeded, ///< stopped at SolverLimits::deadline
+};
+
+/** Wire/report token of a status: "", "budget", "deadline". */
+const char *solveStatusToken(SolveStatus status);
+
+/** The worse of two statuses (deadline > budget > complete). */
+SolveStatus worseStatus(SolveStatus a, SolveStatus b);
+
 /** Tunable limits protecting against pathological formulas. */
 struct SolverLimits
 {
     uint64_t maxAssignments = 20'000'000;
     size_t maxSolutions = 4096;
+
+    /**
+     * Absolute wall-clock deadline; the zero-initialized time_point
+     * (the default) means none. Checked on entry to every search and
+     * then once per kDeadlineCheckStride assignments, so the overhead
+     * of reading the clock never touches the per-assignment hot path
+     * and a deadline-free solve stays byte-identical in behavior and
+     * stats. An already-expired deadline aborts before any search
+     * work, which makes deadline tests deterministic.
+     */
+    std::chrono::steady_clock::time_point deadline{};
+
+    /** Assignments between deadline probes (power of two). */
+    static constexpr uint64_t kDeadlineCheckStride = 1024;
+
+    bool
+    hasDeadline() const
+    {
+        return deadline != std::chrono::steady_clock::time_point{};
+    }
+
+    /** Helper: deadline @p millis from now (0 = none). */
+    static SolverLimits
+    withDeadline(SolverLimits base, uint64_t millis)
+    {
+        if (millis > 0) {
+            base.deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(millis);
+        }
+        return base;
+    }
 };
 
 /**
@@ -134,11 +186,19 @@ class Solver
 
     const SolveStats &stats() const { return stats_; }
 
+    /**
+     * How the most recent solveAll/solveAllReference call ended.
+     * Complete until the first solve; sticky per call (each solve
+     * overwrites it).
+     */
+    SolveStatus lastStatus() const { return lastStatus_; }
+
   private:
     ir::Function *func_;
     analysis::FunctionAnalyses &analyses_;
     const analysis::CandidateIndex &index_;
     SolveStats stats_;
+    SolveStatus lastStatus_ = SolveStatus::Complete;
 };
 
 } // namespace repro::solver
