@@ -131,7 +131,7 @@ MatchingDriver::compileAndMatch(const std::string &source,
     // A new batch over a new module: entries from any earlier module
     // are stale (its functions may even share recycled addresses).
     invalidateAll();
-    frontend::compileMiniCOrDie(source, module);
+    frontend::compileMiniCOrDie(source, module, opts_.verify);
     return matchModule(module);
 }
 
@@ -170,7 +170,7 @@ MatchingDriver::matchModule(ir::Module &module)
         report.functions.push_back(std::move(fr));
     }
     if (opts_.applyTransforms) {
-        transform::Transformer transformer(module);
+        transform::Transformer transformer(module, opts_.verify);
         report.replacements = transformer.applyAll(report.allMatches());
         // The transformation stage rewrites matched functions and adds
         // extracted kernels; every cached analysis is suspect now.
@@ -306,7 +306,8 @@ MatchingDriver::applyAllParallel(
         modules.size());
     unsigned threads = resolveThreads(numThreads, modules.size());
     runSharded(modules.size(), threads, [&](size_t i, unsigned) {
-        transform::Transformer transformer(*modules[i]);
+        transform::Transformer transformer(*modules[i],
+                                           opts_.verify);
         out[i] = transformer.applyAll(matches[i]);
     });
     return out;
@@ -318,7 +319,7 @@ MatchingDriver::compileAndMatchParallel(const std::string &source,
                                         unsigned numThreads)
 {
     invalidateAll();
-    frontend::compileMiniCOrDie(source, module);
+    frontend::compileMiniCOrDie(source, module, opts_.verify);
     return runParallel(module, numThreads);
 }
 
@@ -487,7 +488,8 @@ MatchingDriver::verifyTransform(
     // The original program, executed by both engines over identical
     // seeded heaps.
     ir::Module original;
-    frontend::compileMiniCOrDie(program.source, original);
+    frontend::compileMiniCOrDie(program.source, original,
+                                opts_.verify);
     ExecutionSnapshot refO = runBenchmark(original, program, {}, true);
     ExecutionSnapshot fastO =
         runBenchmark(original, program, {}, false);
@@ -501,7 +503,8 @@ MatchingDriver::verifyTransform(
     // The transformed program: match, rewrite, bind the native
     // skeletons, then execute by both engines.
     ir::Module transformed;
-    MatchingDriver local(DriverOptions{opts_.limits, true, nullptr});
+    MatchingDriver local(
+        DriverOptions{opts_.limits, true, nullptr, opts_.verify});
     MatchReport report =
         local.compileAndMatch(program.source, transformed);
     v.matches = report.matchCount();

@@ -36,6 +36,7 @@
 #include "benchmarks/suite.h"
 #include "driver/match_cache.h"
 #include "idioms/library.h"
+#include "ir/verifier.h"
 #include "solver/solver.h"
 #include "transform/transform.h"
 
@@ -61,6 +62,15 @@ struct DriverOptions
      * pipeline byte for byte.
      */
     std::shared_ptr<MatchCache> cache;
+    /**
+     * Pass-boundary IR verification (ir/verifier.h). Defaults to the
+     * REPRO_VERIFY environment switch. With VerifyMode::Boundaries
+     * the pipeline re-verifies the module after frontend compilation
+     * (per optimization stage), after every rewrite-engine commit and
+     * rollback, and before bytecode lowering in the execution harness
+     * — throwing InternalError naming the first broken boundary.
+     */
+    ir::VerifyMode verify = ir::defaultVerifyMode();
 };
 
 /** Matches and solver effort of one function. */

@@ -11,8 +11,9 @@ namespace repro::frontend {
 
 bool
 compileMiniC(const std::string &source, ir::Module &module,
-             DiagEngine &diags)
+             DiagEngine &diags, ir::VerifyMode verify)
 {
+    const bool boundaries = verify == ir::VerifyMode::Boundaries;
     auto unit = parseMiniC(source, diags);
     if (!unit)
         return false;
@@ -20,11 +21,17 @@ compileMiniC(const std::string &source, ir::Module &module,
         return false;
     for (const auto &f : module.functions())
         removeUnreachableBlocks(f.get());
+    if (boundaries)
+        ir::verifyOrThrow(module, "frontend-codegen");
     promoteModule(module);
+    if (boundaries)
+        ir::verifyOrThrow(module, "frontend-mem2reg");
     for (const auto &f : module.functions()) {
         aggressiveDCE(f.get());
         optimizeFunction(f.get());
     }
+    if (boundaries)
+        ir::verifyOrThrow(module, "frontend-optimize");
 
     auto problems = ir::verifyModule(module);
     for (const auto &p : problems)
@@ -33,10 +40,11 @@ compileMiniC(const std::string &source, ir::Module &module,
 }
 
 void
-compileMiniCOrDie(const std::string &source, ir::Module &module)
+compileMiniCOrDie(const std::string &source, ir::Module &module,
+                  ir::VerifyMode verify)
 {
     DiagEngine diags;
-    if (!compileMiniC(source, module, diags))
+    if (!compileMiniC(source, module, diags, verify))
         throw FatalError("MiniC compilation failed:\n" + diags.dump());
 }
 

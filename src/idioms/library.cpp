@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <set>
 
+#include "idl/check.h"
 #include "idl/lower.h"
 #include "idl/parser.h"
 
@@ -502,10 +503,26 @@ idiomLibrarySource()
     return source;
 }
 
+std::vector<std::string>
+rootIdiomNames()
+{
+    auto roots = topLevelIdioms();
+    roots.push_back("FactorizationOpportunity");
+    return roots;
+}
+
 const idl::IdlProgram &
 idiomLibrary()
 {
-    static const auto program = idl::parseIdlOrDie(idiomLibrarySource());
+    // Parsing and semantic analysis both gate here: a typo'd opcode or
+    // a generator-less variable in the shipped library fails the first
+    // use instead of silently never matching at solve time.
+    static const auto program = [] {
+        auto p = idl::parseIdlOrDie(idiomLibrarySource());
+        idl::checkProgramOrThrow(*p, rootIdiomNames(),
+                                 "idiom library");
+        return p;
+    }();
     return *program;
 }
 

@@ -66,11 +66,20 @@ uint64_t idiomSetHash();
 /** Source text of the complete IDL idiom library. */
 const std::string &idiomLibrarySource();
 
-/** Parsed idiom library (shared, immutable). */
+/**
+ * Parsed idiom library (shared, immutable). First use also runs the
+ * IDL semantic analyzer (idl/check.h) over every solved root and
+ * throws FatalError on any error-tier diagnostic, so a defective
+ * library fails fast instead of silently never matching.
+ */
 const idl::IdlProgram &idiomLibrary();
 
 /** Names of the top-level idioms the detector searches for. */
 std::vector<std::string> topLevelIdioms();
+
+/** The idioms actually handed to the solver: topLevelIdioms() plus
+ *  FactorizationOpportunity — the lint roots for the library. */
+std::vector<std::string> rootIdiomNames();
 
 /**
  * Pre-lowered constraint program of @p idiom, built once and shared

@@ -1,0 +1,464 @@
+#include "idl/check.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "idl/lower.h"
+#include "solver/compiled.h"
+#include "solver/constraint.h"
+
+namespace repro::idl {
+
+std::string
+CheckDiag::str() const
+{
+    std::ostringstream os;
+    os << "rule=" << rule << " idiom=" << idiom;
+    if (loc.valid())
+        os << " line=" << loc.line << " col=" << loc.column;
+    os << ": " << message;
+    return os.str();
+}
+
+bool
+CheckReport::ok() const
+{
+    return errorCount() == 0;
+}
+
+size_t
+CheckReport::errorCount() const
+{
+    size_t n = 0;
+    for (const auto &d : diags) {
+        if (d.severity == CheckSeverity::Error)
+            ++n;
+    }
+    return n;
+}
+
+size_t
+CheckReport::warningCount() const
+{
+    return diags.size() - errorCount();
+}
+
+bool
+CheckReport::hasRule(const std::string &rule) const
+{
+    for (const auto &d : diags) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::string
+CheckReport::str() const
+{
+    std::ostringstream os;
+    for (const auto &d : diags)
+        os << d.str() << "\n";
+    return os.str();
+}
+
+namespace {
+
+void
+emit(CheckReport &report, const std::string &rule, CheckSeverity sev,
+     const std::string &idiom, SourceLoc loc, const std::string &msg)
+{
+    CheckDiag d;
+    d.rule = rule;
+    d.severity = sev;
+    d.idiom = idiom;
+    d.loc = loc;
+    d.message = msg;
+    report.diags.push_back(std::move(d));
+}
+
+// --------------------------------------------------------- AST layer
+
+/** AST checks over one definition: name payloads that the solver would
+ *  otherwise resolve lazily (and silently) at solve time. */
+void
+checkAst(const IdlProgram &program, const ConstraintDef &def,
+         const Constraint &c, CheckReport &report)
+{
+    if (c.kind == Constraint::Kind::Atomic &&
+        c.atomic == AtomicKind::IsOpcode &&
+        !solver::knownOpcodeName(c.opcodeName)) {
+        emit(report, "unknown-opcode", CheckSeverity::Error, def.name,
+             c.loc,
+             "unknown opcode '" + c.opcodeName +
+                 "' in 'is ... instruction' atomic; this constraint "
+                 "can never match");
+    }
+    if (c.kind == Constraint::Kind::Inherit) {
+        const ConstraintDef *target = program.lookup(c.inheritName);
+        if (!target) {
+            emit(report, "unknown-idiom", CheckSeverity::Error,
+                 def.name, c.loc,
+                 "inherit of undefined constraint '" + c.inheritName +
+                     "'");
+        } else {
+            for (const auto &[pname, calc] : c.inheritParams) {
+                (void)calc;
+                bool declared = std::any_of(
+                    target->params.begin(), target->params.end(),
+                    [&](const auto &p) { return p.first == pname; });
+                if (!declared) {
+                    emit(report, "unknown-param",
+                         CheckSeverity::Warning, def.name, c.loc,
+                         "inherit parameter '" + pname +
+                             "' is not declared by '" +
+                             c.inheritName + "'");
+                }
+            }
+        }
+    }
+    for (const auto &child : c.children)
+        checkAst(program, def, *child, report);
+}
+
+// ----------------------------------------------------- lowered layer
+
+/** Collapse every index form — "[3]", "[#]", "[*]" — to "[]" so that
+ *  collect families and their expansions unify for binding analysis. */
+std::string
+normalizeVar(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (size_t i = 0; i < name.size(); ++i) {
+        if (name[i] == '[') {
+            out += "[]";
+            while (i < name.size() && name[i] != ']')
+                ++i;
+        } else {
+            out += name[i];
+        }
+    }
+    return out;
+}
+
+bool
+containsMarker(const solver::Node &node)
+{
+    for (const auto &v : node.vars) {
+        if (v.find("[#]") != std::string::npos)
+            return true;
+    }
+    for (const auto &list : node.varLists) {
+        for (const auto &v : list) {
+            if (v.find("[#]") != std::string::npos)
+                return true;
+        }
+    }
+    for (const auto &child : node.children) {
+        if (containsMarker(*child))
+            return true;
+    }
+    return node.collectBody && containsMarker(*node.collectBody);
+}
+
+/** Structural signature for duplicate-atomic detection. */
+std::string
+atomSignature(const solver::Node &node)
+{
+    std::ostringstream os;
+    os << static_cast<int>(node.atomic) << "|" << node.opcodeName
+       << "|" << node.argPosition << "|" << node.negated
+       << node.strict << node.postDom << static_cast<int>(node.flow);
+    for (const auto &v : node.vars)
+        os << "|" << v;
+    for (const auto &list : node.varLists) {
+        os << "|L";
+        for (const auto &v : list)
+            os << "," << v;
+    }
+    return os.str();
+}
+
+/** Semantic checks over the lowered tree of one solved root idiom. */
+class LoweredChecker
+{
+  public:
+    LoweredChecker(const std::string &idiom, CheckReport &report)
+        : idiom_(idiom), report_(report)
+    {}
+
+    void
+    run(const solver::Node &root)
+    {
+        gather(root, false);
+        for (const auto &[node, in_collect] : atoms_)
+            checkAtom(*node, in_collect);
+        checkBindings();
+    }
+
+  private:
+    void
+    error(const std::string &rule, SourceLoc loc,
+          const std::string &msg)
+    {
+        emit(report_, rule, CheckSeverity::Error, idiom_, loc, msg);
+    }
+
+    void
+    warning(const std::string &rule, SourceLoc loc,
+            const std::string &msg)
+    {
+        emit(report_, rule, CheckSeverity::Warning, idiom_, loc, msg);
+    }
+
+    void
+    gather(const solver::Node &node, bool in_collect)
+    {
+        switch (node.kind) {
+          case solver::Node::Kind::Atomic:
+            atoms_.emplace_back(&node, in_collect);
+            return;
+          case solver::Node::Kind::And: {
+            std::map<std::string, const solver::Node *> seen;
+            for (const auto &child : node.children) {
+                if (child->kind == solver::Node::Kind::Atomic) {
+                    auto [it, inserted] = seen.emplace(
+                        atomSignature(*child), child.get());
+                    if (!inserted) {
+                        warning("duplicate-atomic", child->loc,
+                                "atomic repeats an identical sibling "
+                                "constraint");
+                    }
+                }
+                gather(*child, in_collect);
+            }
+            return;
+          }
+          case solver::Node::Kind::Or:
+            for (const auto &child : node.children)
+                gather(*child, in_collect);
+            return;
+          case solver::Node::Kind::Collect:
+            if (!node.collectBody ||
+                !containsMarker(*node.collectBody)) {
+                error("collect-no-marker", node.loc,
+                      "collect body never uses its index; the "
+                      "collection is degenerate");
+            }
+            if (node.collectBody)
+                gather(*node.collectBody, true);
+            return;
+        }
+    }
+
+    void
+    checkAtom(const solver::Node &node, bool in_collect)
+    {
+        for (const auto &v : node.vars) {
+            if (v.find("[*]") != std::string::npos) {
+                error("wildcard-misplaced", node.loc,
+                      "'[*]' in positional operand '" + v +
+                          "'; wildcards are only valid inside "
+                          "variable lists");
+            }
+            if (!in_collect && v.find("[#]") != std::string::npos) {
+                error("marker-outside-collect", node.loc,
+                      "collect index template in '" + v +
+                          "' outside any collect body");
+            }
+        }
+        if (!in_collect) {
+            for (const auto &list : node.varLists) {
+                for (const auto &v : list) {
+                    if (v.find("[#]") != std::string::npos) {
+                        error("marker-outside-collect", node.loc,
+                              "collect index template in '" + v +
+                                  "' outside any collect body");
+                    }
+                }
+            }
+        }
+        // Trivially-decided atomics over a variable and itself.
+        if (node.vars.size() >= 2 && node.vars[0] == node.vars[1]) {
+            if (node.atomic == AtomicKind::NotSame) {
+                error("unsat-atomic", node.loc,
+                      "'{" + node.vars[0] +
+                          "} is not the same as' itself can never "
+                          "hold");
+            } else if (node.atomic == AtomicKind::Same) {
+                warning("trivial-atomic", node.loc,
+                        "'{" + node.vars[0] +
+                            "} is the same as' itself always holds");
+            } else if (node.atomic == AtomicKind::Dominates &&
+                       node.flow == FlowKind::Any) {
+                // Plain dominance is reflexive: strict self-dominance
+                // is false, negated non-strict self-dominance too.
+                if (node.strict && !node.negated) {
+                    error("unsat-atomic", node.loc,
+                          "'{" + node.vars[0] +
+                              "}' cannot strictly dominate itself");
+                } else if (!node.strict && node.negated) {
+                    error("unsat-atomic", node.loc,
+                          "'{" + node.vars[0] +
+                              "}' always dominates itself");
+                }
+            }
+        }
+    }
+
+    /**
+     * Generator-reachability fixpoint mirroring the solver's
+     * genCandidates table: a variable participates in a solution only
+     * if some chain of generating atomics can enumerate it.
+     * Or-branches are treated optimistically (union), index forms are
+     * normalized into families, so anything unreachable here is
+     * unreachable in every schedule — error tier.
+     */
+    void
+    checkBindings()
+    {
+        std::set<std::string> mentioned;
+        std::map<std::string, int> occurrences;
+        std::map<std::string, SourceLoc> firstLoc;
+        auto note = [&](const std::string &raw, SourceLoc loc) {
+            std::string v = normalizeVar(raw);
+            mentioned.insert(v);
+            ++occurrences[v];
+            firstLoc.emplace(v, loc);
+        };
+        for (const auto &[node, in_collect] : atoms_) {
+            (void)in_collect;
+            for (const auto &v : node->vars)
+                note(v, node->loc);
+            for (const auto &list : node->varLists) {
+                for (const auto &v : list)
+                    note(v, node->loc);
+            }
+        }
+
+        std::set<std::string> bound;
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto &[node, in_collect] : atoms_) {
+                (void)in_collect;
+                auto var = [&](size_t i) {
+                    return normalizeVar(node->vars[i]);
+                };
+                auto bind = [&](const std::string &v) {
+                    changed |= bound.insert(v).second;
+                };
+                auto isBound = [&](size_t i) {
+                    return bound.count(var(i)) != 0;
+                };
+                switch (node->atomic) {
+                  case AtomicKind::IsOpcode:
+                  case AtomicKind::IsInstruction:
+                  case AtomicKind::IsArgument:
+                  case AtomicKind::IsConstant:
+                  case AtomicKind::IsConstantZero:
+                  case AtomicKind::IsCompileTimeValue:
+                    if (!node->vars.empty())
+                        bind(var(0));
+                    break;
+                  case AtomicKind::Same:
+                  case AtomicKind::IsArgumentOf:
+                  case AtomicKind::HasDataFlowTo:
+                  case AtomicKind::HasControlFlowTo:
+                    if (node->vars.size() == 2) {
+                        if (isBound(0))
+                            bind(var(1));
+                        if (isBound(1))
+                            bind(var(0));
+                    }
+                    break;
+                  case AtomicKind::ReachesPhiFrom:
+                    if (node->vars.size() == 3) {
+                        if (isBound(1)) {
+                            bind(var(0));
+                            bind(var(2));
+                        }
+                        if (isBound(0))
+                            bind(var(1));
+                    }
+                    break;
+                  default:
+                    break; // checker-only atomics bind nothing
+                }
+            }
+        }
+
+        for (const auto &v : mentioned) {
+            if (!bound.count(v)) {
+                error("unbound-var", firstLoc[v],
+                      "no generating atomic can ever bind '" + v +
+                          "'; the solver will defer this goal "
+                          "forever and the idiom cannot match");
+            } else if (occurrences[v] == 1) {
+                warning("unused-var", firstLoc[v],
+                        "'" + v +
+                            "' appears in a single atomic and "
+                            "constrains nothing else");
+            }
+        }
+    }
+
+    std::string idiom_;
+    CheckReport &report_;
+    std::vector<std::pair<const solver::Node *, bool>> atoms_;
+};
+
+} // namespace
+
+CheckReport
+checkProgram(const IdlProgram &program,
+             const std::vector<std::string> &roots)
+{
+    CheckReport report;
+    for (const auto &def : program.defs)
+        checkAst(program, *def, *def->body, report);
+    for (const auto &root : roots) {
+        if (!program.lookup(root)) {
+            emit(report, "unknown-idiom", CheckSeverity::Error, root,
+                 SourceLoc{},
+                 "root idiom '" + root + "' is not defined");
+            continue;
+        }
+        try {
+            solver::ConstraintProgram lowered =
+                lowerIdiom(program, root);
+            LoweredChecker(root, report).run(*lowered.root);
+        } catch (const FatalError &err) {
+            emit(report, "lower-failed", CheckSeverity::Error, root,
+                 SourceLoc{}, err.what());
+        }
+    }
+    return report;
+}
+
+CheckReport
+checkProgram(const IdlProgram &program)
+{
+    std::vector<std::string> roots;
+    for (const auto &def : program.defs)
+        roots.push_back(def->name);
+    return checkProgram(program, roots);
+}
+
+void
+checkProgramOrThrow(const IdlProgram &program,
+                    const std::vector<std::string> &roots,
+                    const std::string &origin)
+{
+    CheckReport report = checkProgram(program, roots);
+    if (!report.ok()) {
+        throw FatalError(origin + " failed IDL semantic analysis (" +
+                         std::to_string(report.errorCount()) +
+                         " errors):\n" + report.str());
+    }
+}
+
+} // namespace repro::idl

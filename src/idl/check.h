@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Semantic analyzer ("lint") for IDL constraint programs.
+ *
+ * The solver resolves opcode names and schedules variable generators
+ * lazily, so a typo'd opcode or a variable no atomic can ever generate
+ * does not fail — the idiom just never matches anything. This analyzer
+ * surfaces those defects at load time, with the offending atom's
+ * SourceLoc, in two layers:
+ *
+ *  - AST checks over every definition: unknown opcode names in
+ *    "is <op> instruction" atomics ("unknown-opcode"), inherit of an
+ *    undefined idiom ("unknown-idiom"), inherit parameters the target
+ *    does not declare ("unknown-param", warning);
+ *  - lowered-tree checks per solved root idiom: variables no generator
+ *    chain can ever bind given the solver's generator set
+ *    ("unbound-var"), variables mentioned exactly once and therefore
+ *    constraining nothing ("unused-var", warning), collect bodies that
+ *    never use the "[#]" index template ("collect-no-marker"), "[#]"
+ *    escaping its collect and "[*]" in a positional operand
+ *    ("marker-outside-collect", "wildcard-misplaced"), duplicate
+ *    atomics under one conjunction ("duplicate-atomic", warning) and
+ *    trivially-unsatisfiable / trivially-true atomics ("unsat-atomic",
+ *    "trivial-atomic" warning).
+ *
+ * Severity is tiered: errors mean the idiom (or part of it) cannot
+ * match anything and loading should fail; warnings are kept advisory.
+ * idioms::idiomLibrary() runs checkProgramOrThrow over the shipped
+ * library, so a defective idiom fails fast at first use, and
+ * tools/repro_lint reports the same diagnostics as JSON for CI.
+ */
+#ifndef IDL_CHECK_H
+#define IDL_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "idl/ast.h"
+
+namespace repro::idl {
+
+/** Severity tier of one lint diagnostic. */
+enum class CheckSeverity
+{
+    Error,
+    Warning,
+};
+
+/** One structured lint finding. */
+struct CheckDiag
+{
+    /** Stable rule id, e.g. "unknown-opcode" (see file comment). */
+    std::string rule;
+    CheckSeverity severity = CheckSeverity::Error;
+    /** Constraint definition (or solved root) the finding is in. */
+    std::string idiom;
+    /** Source position of the offending construct; may be invalid for
+     *  findings synthesized from lowered nodes without provenance. */
+    SourceLoc loc;
+    std::string message;
+
+    /** "rule=<id> idiom=<name> line=<l> col=<c>: <message>". */
+    std::string str() const;
+};
+
+/** All findings of one analysis run. */
+struct CheckReport
+{
+    std::vector<CheckDiag> diags;
+
+    /** True when no error-tier diagnostic was produced. */
+    bool ok() const;
+    size_t errorCount() const;
+    size_t warningCount() const;
+    /** True when some diagnostic carries @p rule. */
+    bool hasRule(const std::string &rule) const;
+    /** Render every diagnostic, one per line. */
+    std::string str() const;
+};
+
+/**
+ * Analyze @p program. AST checks run over every definition; lowered
+ * checks run over each name in @p roots (the idioms actually handed to
+ * the solver — helper definitions legitimately leave variables for
+ * their includers to bind, so only roots are held to the
+ * all-variables-generatable standard).
+ */
+CheckReport checkProgram(const IdlProgram &program,
+                         const std::vector<std::string> &roots);
+
+/** Convenience: every definition is its own root. */
+CheckReport checkProgram(const IdlProgram &program);
+
+/**
+ * Gate helper: run checkProgram and throw FatalError naming @p origin
+ * when any error-tier diagnostic is found.
+ */
+void checkProgramOrThrow(const IdlProgram &program,
+                         const std::vector<std::string> &roots,
+                         const std::string &origin);
+
+} // namespace repro::idl
+
+#endif // IDL_CHECK_H

@@ -194,6 +194,7 @@ class Lowerer
           case Constraint::Kind::Atomic: {
             auto node = std::make_unique<Node>();
             node->kind = Node::Kind::Atomic;
+            node->loc = c.loc;
             node->atomic = c.atomic;
             node->opcodeName = c.opcodeName;
             node->argPosition = c.argPosition;
@@ -217,6 +218,7 @@ class Lowerer
             node->kind = c.kind == Constraint::Kind::Conjunction
                              ? Node::Kind::And
                              : Node::Kind::Or;
+            node->loc = c.loc;
             for (const auto &child : c.children)
                 node->children.push_back(lower(*child, env, depth));
             return node;
@@ -255,6 +257,7 @@ class Lowerer
             node->kind = c.kind == Constraint::Kind::ForAll
                              ? Node::Kind::And
                              : Node::Kind::Or;
+            node->loc = c.loc;
             for (int64_t i = lo; i < hi; ++i) {
                 Env inner = env;
                 inner.values[c.indexName] = i;
@@ -293,6 +296,7 @@ class Lowerer
           case Constraint::Kind::Collect: {
             auto node = std::make_unique<Node>();
             node->kind = Node::Kind::Collect;
+            node->loc = c.loc;
             node->collectMax = c.collectMax;
             Env inner = env;
             inner.values.erase(c.indexName);

@@ -174,8 +174,14 @@ const CompiledFunction &
 Interpreter::compiledFor(ir::Function *func)
 {
     auto &slot = compiled_[func];
-    if (!slot)
+    if (!slot) {
+        // Last line of defense: bytecode lowering assumes well-formed
+        // SSA (operand registers resolve by dominance), so a malformed
+        // function must fail loudly here, not execute garbage.
+        if (verify_ == ir::VerifyMode::Boundaries)
+            ir::verifyOrThrow(func, "pre-bytecode");
         slot = std::make_unique<CompiledFunction>(*func);
+    }
     return *slot;
 }
 

@@ -37,6 +37,7 @@
 
 #include "interp/memory.h"
 #include "ir/function.h"
+#include "ir/verifier.h"
 
 namespace repro::interp {
 
@@ -262,6 +263,17 @@ class Interpreter
 
     Memory &memory() { return mem_; }
 
+    /**
+     * Pass-boundary verification of functions entering the bytecode
+     * compiler. Defaults to the REPRO_VERIFY environment switch; with
+     * VerifyMode::Boundaries every function is re-verified right
+     * before its first lowering ("pre-bytecode" boundary), so the
+     * executor can never run bytecode compiled from malformed IR.
+     * The tree-walking reference engine is unaffected.
+     */
+    void setVerifyMode(ir::VerifyMode mode) { verify_ = mode; }
+    ir::VerifyMode verifyMode() const { return verify_; }
+
   private:
     friend class CompiledExec;
 
@@ -303,6 +315,7 @@ class Interpreter
     bool profiling_ = false;
     Profile profile_;
     Engine engine_ = Engine::Compiled;
+    ir::VerifyMode verify_ = ir::defaultVerifyMode();
     std::optional<FaultPlan> fault_;
     bool faultFired_ = false;
     uint64_t faultCounter_ = 0;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "frontend/compiler.h"
+#include "ir/verifier.h"
 
 namespace repro::service {
 
@@ -44,6 +45,16 @@ MatchService::submit(const std::string &moduleName,
         outcome.error = diags.all().empty()
                             ? std::string("compilation failed")
                             : diags.all().front().str();
+        return outcome;
+    }
+    // Defense in depth, always on regardless of VerifyMode: nothing
+    // malformed may reach the session store or the shared match cache
+    // (cached entries outlive the module that deposited them). The
+    // rejection is structured — the wire error carries the verifier's
+    // rule id and location, not a blurred "bad module".
+    ir::VerifierReport vr = ir::verifyModuleDetailed(*module);
+    if (vr.errorCount() != 0) {
+        outcome.error = "invalid-ir " + vr.firstError().str();
         return outcome;
     }
     outcome.compileMillis = millisSince(t0);

@@ -114,6 +114,12 @@ class MatchService
      * to ServiceOptions::defaultDeadlineMillis; 0 there too =
      * unbounded). An expired deadline still succeeds, with
      * SubmitOutcome::degraded set and partial matches.
+     *
+     * Every compiled module additionally runs through the
+     * dominance-aware IR verifier (always, independent of the
+     * REPRO_VERIFY mode): a module with any error-tier defect is
+     * rejected with a structured "invalid-ir rule=... " error before
+     * it can reach the session store or the shared cache.
      */
     SubmitOutcome submit(const std::string &moduleName,
                          const std::string &source,

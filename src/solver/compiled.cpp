@@ -50,6 +50,13 @@ expandWildcardName(const std::string &name, int k)
 
 } // namespace
 
+bool
+knownOpcodeName(const std::string &name)
+{
+    ir::Opcode op;
+    return opcodeFromName(name, op);
+}
+
 AtomicTraits
 resolveAtomicTraits(const Node &node)
 {

@@ -87,6 +87,15 @@ enum class ZeroKind : uint8_t
 };
 
 /**
+ * True when @p name is an opcode spelling accepted by IDL
+ * "is <op> instruction" atomics ("add", "gep", "getelementptr", ...).
+ * The IDL semantic analyzer (idl/check.h) uses this to surface typo'd
+ * opcode names at library load time instead of letting the atomic
+ * silently resolve to an empty candidate set at solve time.
+ */
+bool knownOpcodeName(const std::string &name);
+
+/**
  * Compile-time-resolved atomic payload shared by the compiled and the
  * reference evaluation paths (see solver/atomics.h).
  */

@@ -32,6 +32,11 @@ struct Node
 
     Kind kind = Kind::And;
 
+    /** Source position of the originating IDL constraint (invalid for
+     *  synthesized nodes); carried through lowering so semantic lint
+     *  diagnostics over the lowered tree can point at source. */
+    SourceLoc loc;
+
     // Atomic payload (field meanings as in idl::Constraint).
     idl::AtomicKind atomic = idl::AtomicKind::Same;
     std::string opcodeName;

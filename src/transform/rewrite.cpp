@@ -1182,6 +1182,10 @@ RewriteEngine::commit(std::vector<RewritePlan> plans)
             for (auto &[callee, users] : calleeUsers)
                 users.erase(plan.function);
             fs.poisoned = true;
+            // The undo log must have restored a well-formed function;
+            // a defect here means rollback itself is broken.
+            if (verify_ == ir::VerifyMode::Boundaries)
+                ir::verifyOrThrow(plan.function, "rewrite-rollback");
         }
     }
 
@@ -1194,7 +1198,13 @@ RewriteEngine::commit(std::vector<RewritePlan> plans)
             continue;
         frontend::removeUnreachableBlocks(func);
         frontend::aggressiveDCE(func);
+        if (verify_ == ir::VerifyMode::Boundaries)
+            ir::verifyOrThrow(func, "rewrite-commit");
     }
+    // Rewrites also add module-level structure (extracted kernels,
+    // callee declarations); one whole-module pass covers those.
+    if (verify_ == ir::VerifyMode::Boundaries && !cleanupOrder.empty())
+        ir::verifyOrThrow(module_, "rewrite-module");
 
     std::vector<Replacement> result;
     result.reserve(out.size());

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "idioms/library.h"
+#include "ir/verifier.h"
 #include "transform/extract.h"
 #include "transform/harden.h"
 #include "transform/loop_shape.h"
@@ -157,7 +158,21 @@ class RewriteEngine
         size_t rolledBack = 0; ///< plans undone by a commit failure
     };
 
-    explicit RewriteEngine(ir::Module &module) : module_(module) {}
+    /**
+     * With @p verify == VerifyMode::Boundaries, commit() re-verifies
+     * every function it touched: after its cleanup passes when its
+     * plans committed ("rewrite-commit"), and right after the undo
+     * replay when a mid-commit failure rolled it back
+     * ("rewrite-rollback"). Harden commits flow through the same
+     * pipeline and are covered by the same checks. A verification
+     * failure throws InternalError naming the boundary — turning a
+     * silent mis-rewrite into a hard stop at the pass that caused it.
+     */
+    explicit RewriteEngine(ir::Module &module,
+                           ir::VerifyMode verify = ir::VerifyMode::Off)
+        : module_(module), verify_(verify)
+    {
+    }
 
     /**
      * Plan one match; nullopt when no scheme can express it.
@@ -265,6 +280,7 @@ class RewriteEngine
     bool commitHarden(RewritePlan &plan);
 
     ir::Module &module_;
+    ir::VerifyMode verify_ = ir::VerifyMode::Off;
     int counter_ = 0;
     Stats stats_;
 };

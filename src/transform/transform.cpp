@@ -22,8 +22,9 @@ using ir::Type;
 using ir::Value;
 using solver::Solution;
 
-Transformer::Transformer(ir::Module &module)
-    : module_(module), engine_(std::make_unique<RewriteEngine>(module))
+Transformer::Transformer(ir::Module &module, ir::VerifyMode verify)
+    : module_(module),
+      engine_(std::make_unique<RewriteEngine>(module, verify))
 {
 }
 

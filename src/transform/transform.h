@@ -26,6 +26,7 @@
 
 #include "idioms/library.h"
 #include "ir/function.h"
+#include "ir/verifier.h"
 
 namespace repro::transform {
 
@@ -66,7 +67,14 @@ struct Replacement
 class Transformer
 {
   public:
-    explicit Transformer(ir::Module &module);
+    /**
+     * @p verify is forwarded to the engine: with
+     * VerifyMode::Boundaries, every commit and rollback re-verifies
+     * the touched function (see RewriteEngine). The legacy
+     * applyAllReference path ignores it.
+     */
+    explicit Transformer(ir::Module &module,
+                         ir::VerifyMode verify = ir::VerifyMode::Off);
     ~Transformer();
 
     /** Try to replace one match; nullopt when unsupported. */

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "driver/driver.h"
+#include "transform/transform.h"
 #include "frontend/compiler.h"
 #include "interp/builtins.h"
 #include "interp/interpreter.h"
@@ -224,6 +226,59 @@ TEST(FuzzDifferential, EnginesAgreeOnGeneratedPrograms)
         EXPECT_EQ(fastIt.profile().totalSteps,
                   refIt.profile().totalSteps);
         EXPECT_EQ(fastIt.profile().counts, refIt.profile().counts);
+    }
+}
+
+TEST(FuzzDifferential, VerifierCleanAtEveryPassBoundary)
+{
+    // The fuzzer corpus swept through the full pipeline with
+    // VerifyMode::Boundaries forced on: compilation re-verifies after
+    // codegen, mem2reg and the optimizer; execution re-verifies before
+    // bytecode lowering; and the matching driver re-verifies after
+    // every rewrite commit. Any malformed IR at any boundary throws
+    // InternalError, which fails the test — over the whole corpus,
+    // not just the 21 curated suite programs.
+    for (uint64_t seed = 1; seed <= 25; ++seed) {
+        std::string src = generate(seed);
+        SCOPED_TRACE("seed " + std::to_string(seed) + "\n" + src);
+
+        ir::Module module;
+        frontend::compileMiniCOrDie(src, module,
+                                    ir::VerifyMode::Boundaries);
+        ir::Function *entry = module.functionByName("fuzz");
+        ASSERT_NE(entry, nullptr);
+
+        // Pre-bytecode boundary: lower and execute before rewriting.
+        Heap heap;
+        seedHeap(heap);
+        interp::Interpreter it(module, heap.mem);
+        it.setVerifyMode(ir::VerifyMode::Boundaries);
+        interp::registerMathBuiltins(it);
+        it.run(entry, heap.args);
+
+        // Rewrite boundaries: match and transform with verification
+        // on; commits and rollbacks re-verify inside the engine.
+        driver::DriverOptions opts;
+        opts.applyTransforms = true;
+        opts.verify = ir::VerifyMode::Boundaries;
+        driver::MatchingDriver matcher(opts);
+        matcher.matchModule(module);
+
+        // And the final module must still be verifier-clean.
+        ir::VerifierReport report = ir::verifyModuleDetailed(module);
+        EXPECT_EQ(report.errorCount(), 0u) << report.str();
+
+        // Post-harden boundary: the EDDI+CFCSS rewrite of a fresh
+        // compile commits under the same rewrite-commit verification.
+        ir::Module hardened;
+        frontend::compileMiniCOrDie(src, hardened,
+                                    ir::VerifyMode::Boundaries);
+        hardened.functionByName("fuzz")->addAttribute("protect");
+        transform::Transformer protector(hardened,
+                                         ir::VerifyMode::Boundaries);
+        ASSERT_EQ(protector.applyAll({}).size(), 1u);
+        ir::VerifierReport hr = ir::verifyModuleDetailed(hardened);
+        EXPECT_EQ(hr.errorCount(), 0u) << hr.str();
     }
 }
 
