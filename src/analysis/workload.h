@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-call-site workload descriptors for the backend cost model.
+ *
+ * A WorkloadDescriptor summarizes what one matched loop nest does per
+ * entry: trip counts, arithmetic, memory traffic and the footprint
+ * that would have to be shipped to a discrete device. Descriptors are
+ * built either from the interpreter's dynamic per-instruction profile
+ * (Profile counts, exact) or from a static trip-count estimate
+ * (constant loop bounds, default trip when unknown) so the cost layer
+ * always has something to rank backends with (docs/BACKENDS.md).
+ */
+#ifndef ANALYSIS_WORKLOAD_H
+#define ANALYSIS_WORKLOAD_H
+
+#include <cstdint>
+#include <functional>
+
+#include "analysis/loops.h"
+
+namespace repro::analysis {
+
+/** What one entry of a matched loop nest costs. */
+struct WorkloadDescriptor
+{
+    /** Trips of the nest's root loop per entry. */
+    double tripCount = 0.0;
+    /** Floating-point arithmetic per entry. */
+    double flops = 0.0;
+    /** Bytes loaded/stored per entry. */
+    double bytes = 0.0;
+    /** Distinct array footprint (per base pointer, max extent). */
+    double transferBytes = 0.0;
+    /** Entries of the nest per program run. */
+    double invocations = 1.0;
+    /** Built from a dynamic profile (else static estimate). */
+    bool fromProfile = false;
+};
+
+/**
+ * Dynamic execution count of an instruction; return 0 everywhere for
+ * "no profile" (interp::Profile supplies the real thing — the getter
+ * indirection keeps this layer interpreter-free).
+ */
+using InstCountFn = std::function<uint64_t(const ir::Instruction *)>;
+
+/**
+ * Estimate the workload of the loop nest rooted at @p loop. With a
+ * non-null @p counts whose header count is non-zero the descriptor is
+ * derived from the dynamic profile; otherwise from static constant
+ * loop bounds (unknown bounds default to 64 trips).
+ */
+WorkloadDescriptor estimateWorkload(const LoopInfo &loops,
+                                    const Loop *loop,
+                                    const InstCountFn &counts);
+
+} // namespace repro::analysis
+
+#endif // ANALYSIS_WORKLOAD_H

@@ -170,13 +170,69 @@ MatchingDriver::matchModule(ir::Module &module)
         report.functions.push_back(std::move(fr));
     }
     if (opts_.applyTransforms) {
-        transform::Transformer transformer(module, opts_.verify);
+        transform::Transformer transformer(module, opts_.verify,
+                                           backendConfig(true));
         report.replacements = transformer.applyAll(report.allMatches());
         // The transformation stage rewrites matched functions and adds
         // extracted kernels; every cached analysis is suspect now.
         invalidateAll();
     }
     return report;
+}
+
+transform::BackendConfig
+MatchingDriver::backendConfig(bool withWorkloads)
+{
+    transform::BackendConfig config;
+    config.policy = opts_.backendPolicy;
+    config.forced = opts_.forcedBackends;
+    if (withWorkloads) {
+        // Serves the profiled descriptors profileWorkloads deposited
+        // for the still-live module. Read-only on cache_: a function
+        // with no slot (or a rebuilt slot without workloads) falls
+        // back to the engine's static estimate.
+        config.workloads =
+            [this](const ir::Function *f, const ir::BasicBlock *header)
+            -> const analysis::WorkloadDescriptor * {
+            auto it = cache_.find(const_cast<ir::Function *>(f));
+            if (it == cache_.end() || !it->second.analyses)
+                return nullptr;
+            return it->second.analyses->workloadFor(header);
+        };
+    }
+    return config;
+}
+
+void
+MatchingDriver::profileWorkloads(
+    ir::Module &module, const benchmarks::BenchmarkProgram &program)
+{
+    interp::Memory mem;
+    interp::Interpreter interp(module, mem);
+    interp::registerMathBuiltins(interp);
+    interp.enableProfile(true);
+    benchmarks::Instance instance = program.setup(mem);
+    ir::Function *entry = module.functionByName(program.entry);
+    if (!entry)
+        throw FatalError("profileWorkloads: no entry function @" +
+                         program.entry);
+    interp.run(entry, instance.args);
+    const interp::Profile &profile = interp.profile();
+    analysis::InstCountFn counts =
+        [&profile](const ir::Instruction *inst) -> uint64_t {
+        auto it = profile.counts.find(inst);
+        return it == profile.counts.end() ? 0 : it->second;
+    };
+    for (const auto &f : module.functions()) {
+        if (f->isDeclaration())
+            continue;
+        analysis::FunctionAnalyses &fa = analysesFor(f.get());
+        const analysis::LoopInfo &loops = fa.loopInfo();
+        for (const auto &loop : loops.loops())
+            fa.setWorkload(
+                loop->header,
+                analysis::estimateWorkload(loops, loop.get(), counts));
+    }
 }
 
 solver::SolveStats
@@ -305,9 +361,14 @@ MatchingDriver::applyAllParallel(
     std::vector<std::vector<transform::Replacement>> out(
         modules.size());
     unsigned threads = resolveThreads(numThreads, modules.size());
+    // Workload hook omitted (backendConfig(false)): the hook reads
+    // the driver's serial analysis cache, which workers must not
+    // touch. Cost-model selection on the parallel path prices the
+    // static trip-count estimate instead.
+    transform::BackendConfig config = backendConfig(false);
     runSharded(modules.size(), threads, [&](size_t i, unsigned) {
-        transform::Transformer transformer(*modules[i],
-                                           opts_.verify);
+        transform::Transformer transformer(*modules[i], opts_.verify,
+                                           config);
         out[i] = transformer.applyAll(matches[i]);
     });
     return out;
@@ -503,8 +564,10 @@ MatchingDriver::verifyTransform(
     // The transformed program: match, rewrite, bind the native
     // skeletons, then execute by both engines.
     ir::Module transformed;
-    MatchingDriver local(
-        DriverOptions{opts_.limits, true, nullptr, opts_.verify});
+    DriverOptions localOpts = opts_;
+    localOpts.applyTransforms = true;
+    localOpts.cache = nullptr;
+    MatchingDriver local(localOpts);
     MatchReport report =
         local.compileAndMatch(program.source, transformed);
     v.matches = report.matchCount();

@@ -71,6 +71,24 @@ struct DriverOptions
      * — throwing InternalError naming the first broken boundary.
      */
     ir::VerifyMode verify = ir::defaultVerifyMode();
+    /**
+     * How the transform stage picks each replacement's backend
+     * (transform/transform.h). Fixed — the default — lowers every
+     * idiom class to its historical host target, keeping Table 1
+     * counts and every byte-parity test unchanged; CostModel ranks
+     * all legal (API, platform) lowerings by the cost model
+     * (runtime/cost.h) against the call site's workload descriptor
+     * (profiled via profileWorkloads, else the static trip-count
+     * estimate) and commits the cheapest.
+     */
+    transform::BackendPolicy backendPolicy =
+        transform::BackendPolicy::Fixed;
+    /**
+     * Force the backend of every replacement of a given kind ("gemm",
+     * "spmv", ...), overriding the policy — the differential sweep's
+     * way of driving each legal alternative through the pipeline.
+     */
+    std::map<std::string, runtime::BackendTarget> forcedBackends;
 };
 
 /** Matches and solver effort of one function. */
@@ -330,6 +348,19 @@ class MatchingDriver
                               const solver::ConstraintProgram &program);
 
     /**
+     * Profile the module's dynamic workloads: execute @p program's
+     * entry once with instruction profiling on, estimate a
+     * WorkloadDescriptor for every natural loop from the observed
+     * counts (analysis/workload.h), and deposit the descriptors into
+     * this driver's cached analyses. A subsequent matchModule with
+     * BackendPolicy::CostModel prices backends against the profiled
+     * trip counts / bytes instead of the static fallback. The run
+     * mutates only a private Memory; the module itself is untouched.
+     */
+    void profileWorkloads(ir::Module &module,
+                          const benchmarks::BenchmarkProgram &program);
+
+    /**
      * The cached analyses of @p func (built on first request). The
      * cache is scoped to one module at a time: requesting a function
      * of a different module drops all entries, since function
@@ -404,6 +435,15 @@ class MatchingDriver
     void storeSolveResult(
         ir::Function *func, const FunctionReport &fr,
         std::shared_ptr<analysis::FunctionAnalyses> analyses);
+
+    /**
+     * Backend-selection inputs for a Transformer, derived from the
+     * options. With @p withWorkloads the config's workload hook reads
+     * this driver's serial analysis cache (profileWorkloads deposits)
+     * — serial transform stage only; the parallel stage passes false
+     * so workers never touch cache_.
+     */
+    transform::BackendConfig backendConfig(bool withWorkloads);
 
     /**
      * The parallel engine: drain (function, report slot) work items

@@ -82,6 +82,15 @@ std::vector<std::string> topLevelIdioms();
 std::vector<std::string> rootIdiomNames();
 
 /**
+ * Terminal variable-name components ("leaves" after the last '.')
+ * that the transformation stage reads out of idiom solutions — the
+ * rewrite ABI between the IDL library and transform/transform.cpp.
+ * Passed to the IDL lint as its exported-variable list so unused-var
+ * never flags a binding whose single mention IS its export.
+ */
+const std::vector<std::string> &rewriteAbiVarLeaves();
+
+/**
  * Pre-lowered constraint program of @p idiom, built once and shared
  * (lowering is function-independent, so re-lowering per matched
  * function is pure setup overhead). Covers the top-level idioms plus

@@ -186,8 +186,9 @@ atomSignature(const solver::Node &node)
 class LoweredChecker
 {
   public:
-    LoweredChecker(const std::string &idiom, CheckReport &report)
-        : idiom_(idiom), report_(report)
+    LoweredChecker(const std::string &idiom, CheckReport &report,
+                   const std::set<std::string> &exports)
+        : idiom_(idiom), report_(report), exports_(exports)
     {}
 
     void
@@ -397,7 +398,7 @@ class LoweredChecker
                       "no generating atomic can ever bind '" + v +
                           "'; the solver will defer this goal "
                           "forever and the idiom cannot match");
-            } else if (occurrences[v] == 1) {
+            } else if (occurrences[v] == 1 && !isExported(v)) {
                 warning("unused-var", firstLoc[v],
                         "'" + v +
                             "' appears in a single atomic and "
@@ -406,8 +407,23 @@ class LoweredChecker
         }
     }
 
+    /**
+     * Variables whose terminal component names a rewrite-ABI slot are
+     * bound so the transformation stage can read them out of the
+     * solution; a single mention is their purpose, not a defect.
+     */
+    bool
+    isExported(const std::string &v) const
+    {
+        size_t dot = v.rfind('.');
+        std::string leaf =
+            dot == std::string::npos ? v : v.substr(dot + 1);
+        return exports_.count(leaf) != 0;
+    }
+
     std::string idiom_;
     CheckReport &report_;
+    const std::set<std::string> &exports_;
     std::vector<std::pair<const solver::Node *, bool>> atoms_;
 };
 
@@ -415,9 +431,12 @@ class LoweredChecker
 
 CheckReport
 checkProgram(const IdlProgram &program,
-             const std::vector<std::string> &roots)
+             const std::vector<std::string> &roots,
+             const std::vector<std::string> &exportedLeaves)
 {
     CheckReport report;
+    std::set<std::string> exports(exportedLeaves.begin(),
+                                  exportedLeaves.end());
     for (const auto &def : program.defs)
         checkAst(program, *def, *def->body, report);
     for (const auto &root : roots) {
@@ -430,13 +449,20 @@ checkProgram(const IdlProgram &program,
         try {
             solver::ConstraintProgram lowered =
                 lowerIdiom(program, root);
-            LoweredChecker(root, report).run(*lowered.root);
+            LoweredChecker(root, report, exports).run(*lowered.root);
         } catch (const FatalError &err) {
             emit(report, "lower-failed", CheckSeverity::Error, root,
                  SourceLoc{}, err.what());
         }
     }
     return report;
+}
+
+CheckReport
+checkProgram(const IdlProgram &program,
+             const std::vector<std::string> &roots)
+{
+    return checkProgram(program, roots, {});
 }
 
 CheckReport
@@ -451,9 +477,10 @@ checkProgram(const IdlProgram &program)
 void
 checkProgramOrThrow(const IdlProgram &program,
                     const std::vector<std::string> &roots,
-                    const std::string &origin)
+                    const std::string &origin,
+                    const std::vector<std::string> &exportedLeaves)
 {
-    CheckReport report = checkProgram(program, roots);
+    CheckReport report = checkProgram(program, roots, exportedLeaves);
     if (!report.ok()) {
         throw FatalError(origin + " failed IDL semantic analysis (" +
                          std::to_string(report.errorCount()) +

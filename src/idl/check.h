@@ -84,7 +84,18 @@ struct CheckReport
  * the solver — helper definitions legitimately leave variables for
  * their includers to bind, so only roots are held to the
  * all-variables-generatable standard).
+ *
+ * @p exportedLeaves suppresses "unused-var" for variables whose
+ * terminal component (after the last '.') names one of the entries:
+ * such variables are bound for EXPORT — the transformation stage reads
+ * them out of the solution (loop bounds, base pointers, initial
+ * values) — so appearing in a single atomic is their job, not a
+ * defect. The shipped library passes idioms::rewriteAbiVarLeaves().
  */
+CheckReport checkProgram(const IdlProgram &program,
+                         const std::vector<std::string> &roots,
+                         const std::vector<std::string> &exportedLeaves);
+
 CheckReport checkProgram(const IdlProgram &program,
                          const std::vector<std::string> &roots);
 
@@ -97,7 +108,9 @@ CheckReport checkProgram(const IdlProgram &program);
  */
 void checkProgramOrThrow(const IdlProgram &program,
                          const std::vector<std::string> &roots,
-                         const std::string &origin);
+                         const std::string &origin,
+                         const std::vector<std::string> &exportedLeaves =
+                             {});
 
 } // namespace repro::idl
 

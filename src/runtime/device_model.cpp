@@ -235,19 +235,27 @@ modelTimeMs(const WorkProfile &work, Api api, bool lazy_copy)
     return timeOn(work, p, apiEfficiency(api, work.cls, p), lazy_copy);
 }
 
-std::optional<double>
-apiTimeOn(Platform p, Api api, const WorkProfile &work, bool lazy_copy)
+bool
+apiAvailableOn(Platform p, Api api, IdiomClass cls)
 {
-    if (!apiSupports(api, work.cls))
-        return std::nullopt;
-    if (!work.allowedApis.empty() && !work.allowedApis.count(api))
-        return std::nullopt;
+    if (!apiSupports(api, cls))
+        return false;
     bool runs_here = apiPlatform(api) == p || api == Api::Lift ||
                      api == Api::LibSPMV;
     if (!runs_here)
-        return std::nullopt;
+        return false;
     if (api == Api::Halide && p != Platform::CPU)
-        return std::nullopt; // Halide GPU codegen failed (section 8.3)
+        return false; // Halide GPU codegen failed (section 8.3)
+    return true;
+}
+
+std::optional<double>
+apiTimeOn(Platform p, Api api, const WorkProfile &work, bool lazy_copy)
+{
+    if (!apiAvailableOn(p, api, work.cls))
+        return std::nullopt;
+    if (!work.allowedApis.empty() && !work.allowedApis.count(api))
+        return std::nullopt;
     return timeOn(work, p, apiEfficiency(api, work.cls, p),
                   lazy_copy);
 }

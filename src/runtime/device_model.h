@@ -124,6 +124,15 @@ double referenceOpenClMs(const WorkProfile &work,
                          double algorithmic_speedup);
 
 /**
+ * Is (@p api on platform @p p) a legal lowering for idiom class
+ * @p cls?  Encodes Table 3's populated cells: the API must support
+ * the class, must be able to run on the platform (vendor libraries
+ * are pinned to their home device; Lift and libSPMV are portable),
+ * and Halide's GPU backend is excluded (section 8.3).
+ */
+bool apiAvailableOn(Platform p, Api api, idioms::IdiomClass cls);
+
+/**
  * Modeled time for @p api on platform @p p; std::nullopt when the API
  * does not support the idiom class or cannot run on that platform
  * (Table 3's empty cells).

@@ -175,6 +175,23 @@ formatSubmitResponse(const SubmitOutcome &outcome)
         os << "MATCH function=" << mo.function
            << " idiom=" << mo.idiom
            << " class=" << classToken(mo.cls);
+        // Cost-model submissions only (same compatibility discipline
+        // as degraded= above): Fixed-policy MATCH lines stay
+        // byte-identical to earlier protocol v1 servers.
+        if (mo.hasBackend) {
+            char ms[48];
+            std::snprintf(ms, sizeof(ms), "%.6g", mo.predictedMs);
+            os << " backend=" << mo.backend << " cost_ms=" << ms;
+            if (!mo.rejected.empty()) {
+                os << " alt=";
+                bool first = true;
+                for (const auto &[token, cost] : mo.rejected) {
+                    std::snprintf(ms, sizeof(ms), "%.6g", cost);
+                    os << (first ? "" : ",") << token << ":" << ms;
+                    first = false;
+                }
+            }
+        }
         lines.push_back(os.str());
     }
     lines.push_back("END");

@@ -1,9 +1,11 @@
 #include "service/service.h"
 
 #include <chrono>
+#include <map>
 
 #include "frontend/compiler.h"
 #include "ir/verifier.h"
+#include "transform/rewrite.h"
 
 namespace repro::service {
 
@@ -17,12 +19,23 @@ millisSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+driver::DriverOptions
+sessionDriverOptions(const ServiceOptions &opts,
+                     std::shared_ptr<driver::MatchCache> cache)
+{
+    driver::DriverOptions d;
+    d.limits = opts.limits;
+    d.cache = std::move(cache);
+    d.backendPolicy = opts.backendPolicy;
+    return d;
+}
+
 } // namespace
 
 MatchService::MatchService(ServiceOptions opts)
     : opts_(opts),
       cache_(std::make_shared<driver::MatchCache>(opts.cacheCapacity)),
-      driver_(driver::DriverOptions{opts.limits, false, cache_})
+      driver_(sessionDriverOptions(opts, cache_))
 {}
 
 SubmitOutcome
@@ -82,6 +95,22 @@ MatchService::submit(const std::string &moduleName,
     outcome.matches = report.matchCount();
     outcome.cacheHits = report.cacheHits;
     outcome.cacheMisses = report.cacheMisses;
+    // Backend selection for MATCH lines: plan every match (replayed
+    // or fresh — the cache stores matches only, so selection always
+    // reflects the CURRENT policy) against all legal targets and
+    // rank by modeled cost. Planning is pure (no IR mutation, no
+    // kernel extraction); a match the translation schemes cannot
+    // express simply carries no backend keys.
+    std::map<size_t, transform::BackendDecision> decisionByIndex;
+    if (opts_.backendPolicy == transform::BackendPolicy::CostModel) {
+        transform::BackendConfig config;
+        config.policy = transform::BackendPolicy::CostModel;
+        for (auto &d : transform::planBackendDecisions(
+                 *module, report.allMatches(), config))
+            decisionByIndex.emplace(d.matchIndex, std::move(d));
+    }
+
+    size_t matchIndex = 0;
     for (const auto &fr : report.functions) {
         FunctionOutcome fo;
         fo.name = fr.function->name();
@@ -90,8 +119,20 @@ MatchService::submit(const std::string &moduleName,
         fo.fromCache = fr.fromCache;
         outcome.perFunction.push_back(std::move(fo));
         for (const auto &m : fr.matches) {
-            outcome.matchList.push_back(
-                MatchOutcome{fr.function->name(), m.idiom, m.cls});
+            MatchOutcome mo;
+            mo.function = fr.function->name();
+            mo.idiom = m.idiom;
+            mo.cls = m.cls;
+            auto it = decisionByIndex.find(matchIndex++);
+            if (it != decisionByIndex.end()) {
+                mo.hasBackend = true;
+                mo.backend = runtime::backendToken(it->second.chosen);
+                mo.predictedMs = it->second.chosen.predictedMs;
+                for (const auto &alt : it->second.rejected)
+                    mo.rejected.emplace_back(
+                        runtime::backendToken(alt), alt.predictedMs);
+            }
+            outcome.matchList.push_back(std::move(mo));
         }
     }
 

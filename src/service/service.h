@@ -49,6 +49,16 @@ struct ServiceOptions
      * fails it.
      */
     uint64_t defaultDeadlineMillis = 0;
+    /**
+     * Backend selection surfaced on MATCH lines. Under CostModel
+     * every submission additionally plans each match against all
+     * legal backend targets (static workload estimates — the service
+     * never executes client code) and MATCH lines grow
+     * backend=/cost_ms=/alt= keys; Fixed (default) keeps the wire
+     * format byte-identical to earlier protocol v1 servers.
+     */
+    transform::BackendPolicy backendPolicy =
+        transform::BackendPolicy::Fixed;
 };
 
 /** One matched idiom instance, in wire-friendly form. */
@@ -57,6 +67,13 @@ struct MatchOutcome
     std::string function;
     std::string idiom;
     idioms::IdiomClass cls = idioms::IdiomClass::Other;
+    /** Backend selection (CostModel submissions only). */
+    bool hasBackend = false;
+    /** Chosen target token, e.g. "cuBLAS@GPU". */
+    std::string backend;
+    double predictedMs = 0.0;
+    /** Rejected alternatives (token, predicted ms), cost-ascending. */
+    std::vector<std::pair<std::string, double>> rejected;
 };
 
 /** Per-function result of one submission. */

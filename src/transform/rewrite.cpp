@@ -713,11 +713,85 @@ RewriteEngine::plan(const idioms::IdiomMatch &match)
         plan = planStencil(match, 3);
     else if (match.idiom == "Stencil1D")
         plan = planStencil(match, 1);
-    if (plan)
+    if (plan) {
         ++stats_.planned;
-    else
+        plan->cls = match.cls;
+        plan->record.cls = match.cls;
+        plan->target = runtime::fixedTarget(match.cls);
+        plan->record.target = plan->target;
+    } else {
         ++stats_.unplannable;
+    }
     return plan;
+}
+
+analysis::WorkloadDescriptor
+RewriteEngine::workloadOf(const RewritePlan &plan)
+{
+    const BasicBlock *header = plan.loop.header();
+    if (backends_.workloads) {
+        if (const analysis::WorkloadDescriptor *wd =
+                backends_.workloads(plan.function, header))
+            return *wd;
+    }
+    // Static fallback: constant-bound trip estimates over a locally
+    // built loop forest (planning already builds these per match, so
+    // the extra construction only happens under CostModel).
+    analysis::DomTree dom(plan.function, false);
+    analysis::LoopInfo loops(plan.function, dom);
+    const analysis::Loop *natural = loops.loopFor(header);
+    while (natural && natural->header != header)
+        natural = natural->parent;
+    if (!natural)
+        return analysis::WorkloadDescriptor();
+    return analysis::estimateWorkload(loops, natural,
+                                      analysis::InstCountFn());
+}
+
+std::vector<RewritePlan>
+RewriteEngine::expandTargets(RewritePlan plan)
+{
+    using runtime::BackendTarget;
+
+    auto forcedIt = backends_.forced.find(plan.kind);
+    bool modeled = false;
+    std::vector<BackendTarget> targets;
+    if (forcedIt != backends_.forced.end()) {
+        targets.push_back(forcedIt->second);
+    } else if (backends_.policy == BackendPolicy::Fixed) {
+        targets.push_back(runtime::fixedTarget(plan.cls));
+    } else {
+        targets = runtime::rankTargets(plan.cls, workloadOf(plan));
+        if (targets.empty())
+            targets.push_back(runtime::fixedTarget(plan.cls));
+        else
+            modeled = true;
+    }
+
+    std::vector<RewritePlan> out;
+    out.reserve(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+        RewritePlan p =
+            i + 1 == targets.size() ? std::move(plan) : plan;
+        p.target = targets[i];
+        p.record.target = targets[i];
+        p.record.costModeled = modeled;
+        // Library-backed schemes dispatch by callee name, so a
+        // non-default backend gets its own shared declaration (e.g.
+        // __hetero_gemm_f64__cublas_gpu). DSL-backed schemes already
+        // have a unique per-site callee; the target rides along in
+        // the Replacement record only. The fixed target keeps the
+        // historical name, byte-for-byte.
+        if ((p.kind == "spmv" || p.kind == "gemm") &&
+            !runtime::sameBackend(targets[i],
+                                  runtime::fixedTarget(p.cls))) {
+            p.calleeName +=
+                "__" + runtime::backendSymbol(targets[i]);
+            p.record.calleeName = p.calleeName;
+        }
+        out.push_back(std::move(p));
+    }
+    return out;
 }
 
 std::vector<RewritePlan>
@@ -728,7 +802,8 @@ RewriteEngine::planAll(const std::vector<idioms::IdiomMatch> &matches)
         auto p = plan(matches[i]);
         if (p) {
             p->matchIndex = i;
-            plans.push_back(std::move(*p));
+            for (RewritePlan &t : expandTargets(std::move(*p)))
+                plans.push_back(std::move(t));
         }
     }
     return plans;
@@ -773,8 +848,40 @@ RewriteEngine::planHardenAll(size_t firstMatchIndex)
 }
 
 std::vector<RewritePlan>
+RewriteEngine::selectBackends(std::vector<RewritePlan> plans)
+{
+    std::vector<RewritePlan> out;
+    out.reserve(plans.size());
+    size_t i = 0;
+    while (i < plans.size()) {
+        // Alternatives of one match are adjacent (planAll emits them
+        // together) and share the match's function and matchIndex.
+        size_t j = i + 1;
+        while (j < plans.size() &&
+               plans[j].function == plans[i].function &&
+               plans[j].matchIndex == plans[i].matchIndex)
+            ++j;
+        // expandTargets ranked the group by ascending predicted cost,
+        // so the first entry wins; the losers are recorded on its
+        // Replacement for reporting.
+        RewritePlan winner = std::move(plans[i]);
+        for (size_t k = i + 1; k < j; ++k)
+            winner.record.rejected.push_back(plans[k].target);
+        out.push_back(std::move(winner));
+        i = j;
+    }
+    return out;
+}
+
+std::vector<RewritePlan>
 RewriteEngine::resolveOverlaps(std::vector<RewritePlan> plans)
 {
+    // Backend selection first: collapse each match's per-target
+    // alternatives to the modeled winner, so overlap resolution sees
+    // exactly one plan per match (under BackendPolicy::Fixed every
+    // group has size one and this is the identity).
+    plans = selectBackends(std::move(plans));
+
     if (plans.size() < 2)
         return plans;
 
@@ -1235,6 +1342,28 @@ RewriteEngine::applyAll(const std::vector<idioms::IdiomMatch> &matches)
             ++stats_.failedValidation;
     }
     return commit(std::move(valid));
+}
+
+std::vector<BackendDecision>
+planBackendDecisions(ir::Module &module,
+                     const std::vector<idioms::IdiomMatch> &matches,
+                     const BackendConfig &backends)
+{
+    RewriteEngine engine(module, ir::VerifyMode::Off, backends);
+    std::vector<RewritePlan> plans = engine.planAll(matches);
+    plans = engine.selectBackends(std::move(plans));
+    std::vector<BackendDecision> out;
+    out.reserve(plans.size());
+    for (RewritePlan &p : plans) {
+        BackendDecision d;
+        d.matchIndex = p.matchIndex;
+        d.cls = p.cls;
+        d.chosen = p.target;
+        d.rejected = std::move(p.record.rejected);
+        d.modeled = p.record.costModeled;
+        out.push_back(std::move(d));
+    }
+    return out;
 }
 
 } // namespace repro::transform

@@ -134,9 +134,41 @@ struct RewritePlan
     bool harden = false;
     HardenOptions hardenOpts;
 
+    /** Idiom class of the source match (backend legality). */
+    idioms::IdiomClass cls = idioms::IdiomClass::Other;
+    /** The (API, platform, predicted cost) this plan lowers to. */
+    runtime::BackendTarget target;
+
     /** Replacement record (function pointers filled in at commit). */
     Replacement record;
 };
+
+/**
+ * Backend choice for one match, without touching the IR: what the
+ * selection stage would commit plus the ranked alternatives it would
+ * reject. The service layer reports these on MATCH lines; replay from
+ * the MatchCache re-derives them against the current policy.
+ */
+struct BackendDecision
+{
+    size_t matchIndex = 0;
+    idioms::IdiomClass cls = idioms::IdiomClass::Other;
+    runtime::BackendTarget chosen;
+    std::vector<runtime::BackendTarget> rejected;
+    /** Costs are modeled (CostModel); Fixed reports the default. */
+    bool modeled = false;
+};
+
+/**
+ * Run plan → target expansion → selection (no validate, no commit)
+ * for @p matches and report the per-match backend decisions. Purely
+ * advisory: the module is only read (planning interns constants but
+ * performs no structural mutation).
+ */
+std::vector<BackendDecision>
+planBackendDecisions(ir::Module &module,
+                     const std::vector<idioms::IdiomMatch> &matches,
+                     const BackendConfig &backends);
 
 /**
  * Plans, validates and commits idiom replacements over one module.
@@ -169,8 +201,10 @@ class RewriteEngine
      * silent mis-rewrite into a hard stop at the pass that caused it.
      */
     explicit RewriteEngine(ir::Module &module,
-                           ir::VerifyMode verify = ir::VerifyMode::Off)
-        : module_(module), verify_(verify)
+                           ir::VerifyMode verify = ir::VerifyMode::Off,
+                           BackendConfig backends = BackendConfig())
+        : module_(module), verify_(verify),
+          backends_(std::move(backends))
     {
     }
 
@@ -184,7 +218,14 @@ class RewriteEngine
      */
     std::optional<RewritePlan> plan(const idioms::IdiomMatch &match);
 
-    /** Plan every match, in order (assigns matchIndex). */
+    /**
+     * Plan every match, in order (assigns matchIndex), then expand
+     * each plan to one clone per candidate backend target: exactly
+     * the fixed target under BackendPolicy::Fixed (or a forced
+     * override), every legal (API, platform) ranked by modeled cost
+     * under CostModel. Clones of one match share its matchIndex; the
+     * selection stage of resolveOverlaps keeps the cheapest.
+     */
     std::vector<RewritePlan>
     planAll(const std::vector<idioms::IdiomMatch> &matches);
 
@@ -201,10 +242,14 @@ class RewriteEngine
     std::vector<RewritePlan> planHardenAll(size_t firstMatchIndex);
 
     /**
-     * Drop plans whose block claims overlap an accepted plan's,
-     * selecting most-specific-first: widest claim, then
-     * idioms::idiomSpecificity, then match order. Survivors are
-     * returned in match order.
+     * Backend selection, then overlap resolution. Selection groups
+     * same-match alternatives (equal function + matchIndex) emitted
+     * by planAll's target expansion and keeps the lowest predicted
+     * cost, recording the rejected alternatives on the survivor's
+     * Replacement. Overlap resolution then drops plans whose block
+     * claims overlap an accepted plan's, most-specific-first: widest
+     * claim, then idioms::idiomSpecificity, then match order.
+     * Survivors are returned in match order.
      */
     std::vector<RewritePlan>
     resolveOverlaps(std::vector<RewritePlan> plans);
@@ -252,6 +297,21 @@ class RewriteEngine
     planStencil(const idioms::IdiomMatch &match, int dims);
 
     /**
+     * Expand one planned match into its per-target clones (see
+     * planAll) and price them against the call site's workload.
+     */
+    std::vector<RewritePlan> expandTargets(RewritePlan plan);
+
+    /** The workload descriptor of @p plan's loop nest: the dynamic
+     *  profile via BackendConfig::workloads when deposited, else the
+     *  static trip-count estimate. */
+    analysis::WorkloadDescriptor workloadOf(const RewritePlan &plan);
+
+    /** Same-match cheapest-alternative selection (see resolveOverlaps). */
+    std::vector<RewritePlan>
+    selectBackends(std::vector<RewritePlan> plans);
+
+    /**
      * Apply one plan. Mutations are appended to @p undo (run in
      * reverse on rollback); values rewired by earlier commits resolve
      * through @p remap. @p calleeUsers tracks which functions hold
@@ -279,8 +339,14 @@ class RewriteEngine
      */
     bool commitHarden(RewritePlan &plan);
 
+    friend std::vector<BackendDecision>
+    planBackendDecisions(ir::Module &,
+                         const std::vector<idioms::IdiomMatch> &,
+                         const BackendConfig &);
+
     ir::Module &module_;
     ir::VerifyMode verify_ = ir::VerifyMode::Off;
+    BackendConfig backends_;
     int counter_ = 0;
     Stats stats_;
 };

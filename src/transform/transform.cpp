@@ -22,9 +22,11 @@ using ir::Type;
 using ir::Value;
 using solver::Solution;
 
-Transformer::Transformer(ir::Module &module, ir::VerifyMode verify)
+Transformer::Transformer(ir::Module &module, ir::VerifyMode verify,
+                         BackendConfig backends)
     : module_(module),
-      engine_(std::make_unique<RewriteEngine>(module, verify))
+      engine_(std::make_unique<RewriteEngine>(module, verify,
+                                              std::move(backends)))
 {
 }
 

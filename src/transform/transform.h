@@ -19,6 +19,8 @@
 #ifndef TRANSFORM_TRANSFORM_H
 #define TRANSFORM_TRANSFORM_H
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,10 +29,50 @@
 #include "idioms/library.h"
 #include "ir/function.h"
 #include "ir/verifier.h"
+#include "runtime/cost.h"
 
 namespace repro::transform {
 
 class RewriteEngine;
+
+/**
+ * How the engine picks the backend of each replacement.
+ *
+ * Fixed (the default) lowers every idiom class to its historical
+ * host target (runtime::fixedTarget) — byte-identical to the
+ * pre-selection transform stack, so Table 1 counts and all parity
+ * tests are unaffected. CostModel plans every legal (API, platform)
+ * lowering, prices each against the call site's workload descriptor
+ * and commits the cheapest (docs/BACKENDS.md).
+ */
+enum class BackendPolicy
+{
+    Fixed,
+    CostModel,
+};
+
+/** Backend-selection inputs threaded through the transform stack. */
+struct BackendConfig
+{
+    BackendPolicy policy = BackendPolicy::Fixed;
+
+    /**
+     * Force the target of every plan of a given kind ("gemm",
+     * "spmv", ...), overriding the policy. The differential
+     * verification sweep uses this to drive each legal alternative
+     * through the full pipeline.
+     */
+    std::map<std::string, runtime::BackendTarget> forced;
+
+    /**
+     * Dynamic per-loop workload lookup (function, nest header) →
+     * descriptor; null function or null result falls back to the
+     * engine's static trip-count estimate.
+     */
+    std::function<const analysis::WorkloadDescriptor *(
+        const ir::Function *, const ir::BasicBlock *)>
+        workloads;
+};
 
 /** Record of one applied replacement. */
 struct Replacement
@@ -51,6 +93,18 @@ struct Replacement
     int stencilDims = 0;
     /** Value kind of the accumulator / stored element. */
     ir::Type::Kind elemKind = ir::Type::Kind::Double;
+
+    /** Idiom class of the source match. */
+    idioms::IdiomClass cls = idioms::IdiomClass::Other;
+    /** The backend this call site was lowered to. */
+    runtime::BackendTarget target;
+    /**
+     * Legal alternatives the selection stage rejected, ranked by
+     * ascending predicted cost. Empty under BackendPolicy::Fixed.
+     */
+    std::vector<runtime::BackendTarget> rejected;
+    /** Costs were modeled (CostModel policy); Fixed leaves 0s. */
+    bool costModeled = false;
 };
 
 /**
@@ -74,7 +128,8 @@ class Transformer
      * applyAllReference path ignores it.
      */
     explicit Transformer(ir::Module &module,
-                         ir::VerifyMode verify = ir::VerifyMode::Off);
+                         ir::VerifyMode verify = ir::VerifyMode::Off,
+                         BackendConfig backends = BackendConfig());
     ~Transformer();
 
     /** Try to replace one match; nullopt when unsupported. */

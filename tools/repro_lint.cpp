@@ -16,16 +16,29 @@
  *    rewrite-rollback verification on, and finally re-verified as a
  *    whole module.
  *
+ * The JSON report additionally carries a backend-coverage table: for
+ * every root idiom, its class and the legal (API, platform) lowering
+ * targets the cost layer can choose between (runtime/cost.h). Idioms
+ * with fewer than two legal targets are listed explicitly under
+ * "undercovered" — never silently capped — so a device-model edit
+ * that strands an idiom class on a single (or no) backend is visible
+ * in the CI artifact.
+ *
  * Modes:
- *   repro_lint               human-readable report, exit 0 iff clean
- *   repro_lint --json        one JSON object on stdout (CI artifact)
- *   repro_lint --self-test   negative oracle: seeds a typo'd-opcode
- *                            idiom and a malformed IR function, and
- *                            exits 0 only if BOTH fail their gates —
- *                            proving the green run above means
- *                            something.
+ *   repro_lint                    human-readable report, exit 0 iff
+ *                                 clean
+ *   repro_lint --json             one JSON object on stdout (CI)
+ *   repro_lint --max-warnings=N   fail the gate when the library
+ *                                 carries more than N warnings
+ *                                 (default: unlimited)
+ *   repro_lint --self-test        negative oracle: seeds a
+ *                                 typo'd-opcode idiom and a malformed
+ *                                 IR function, and exits 0 only if
+ *                                 BOTH fail their gates — proving the
+ *                                 green run above means something.
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -38,6 +51,7 @@
 #include "idl/parser.h"
 #include "ir/irbuilder.h"
 #include "ir/verifier.h"
+#include "runtime/cost.h"
 #include "support/diagnostics.h"
 
 using namespace repro;
@@ -167,21 +181,27 @@ int
 main(int argc, char **argv)
 {
     bool json = false;
+    size_t maxWarnings = ~size_t(0);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json = true;
+        } else if (std::strncmp(argv[i], "--max-warnings=", 15) == 0) {
+            maxWarnings =
+                static_cast<size_t>(std::atoll(argv[i] + 15));
         } else if (std::strcmp(argv[i], "--self-test") == 0) {
             return selfTest();
         } else {
-            std::fprintf(stderr,
-                         "usage: repro_lint [--json] [--self-test]\n");
+            std::fprintf(stderr, "usage: repro_lint [--json] "
+                                 "[--max-warnings=N] [--self-test]\n");
             return 2;
         }
     }
 
-    // IDL semantic lint over the shipped library.
+    // IDL semantic lint over the shipped library, with the rewrite-ABI
+    // export list so solution-output variables are not "unused".
     idl::CheckReport library = idl::checkProgram(
-        idioms::idiomLibrary(), idioms::rootIdiomNames());
+        idioms::idiomLibrary(), idioms::rootIdiomNames(),
+        idioms::rewriteAbiVarLeaves());
 
     // IR boundary verification over the whole suite.
     std::vector<ProgramResult> programs;
@@ -192,7 +212,29 @@ main(int argc, char **argv)
             ++brokenPrograms;
     }
 
-    bool ok = library.errorCount() == 0 && brokenPrograms == 0;
+    // Backend coverage: how many legal lowering targets the cost layer
+    // can choose between, per root idiom.
+    struct Coverage
+    {
+        std::string idiom;
+        idioms::IdiomClass cls;
+        std::vector<runtime::BackendTarget> targets;
+    };
+    std::vector<Coverage> coverage;
+    size_t undercovered = 0;
+    for (const auto &name : idioms::rootIdiomNames()) {
+        Coverage c;
+        c.idiom = name;
+        c.cls = idioms::idiomClassOf(name);
+        c.targets = runtime::legalTargets(c.cls);
+        if (c.targets.size() < 2)
+            ++undercovered;
+        coverage.push_back(std::move(c));
+    }
+
+    bool ok = library.errorCount() == 0 &&
+              library.warningCount() <= maxWarnings &&
+              brokenPrograms == 0;
 
     if (json) {
         std::printf("{\"ok\": %s, \"library\": {\"errors\": %zu, "
@@ -202,6 +244,28 @@ main(int argc, char **argv)
         for (size_t i = 0; i < library.diags.size(); ++i)
             std::printf("%s\"%s\"", i ? ", " : "",
                         jsonEscape(library.diags[i].str()).c_str());
+        std::printf("]}, \"backends\": {\"undercovered\": [");
+        bool first = true;
+        for (const auto &c : coverage) {
+            if (c.targets.size() >= 2)
+                continue;
+            std::printf("%s\"%s\"", first ? "" : ", ",
+                        jsonEscape(c.idiom).c_str());
+            first = false;
+        }
+        std::printf("], \"coverage\": [");
+        for (size_t i = 0; i < coverage.size(); ++i) {
+            const Coverage &c = coverage[i];
+            std::printf("%s{\"idiom\": \"%s\", \"class\": \"%s\", "
+                        "\"targets\": [",
+                        i ? ", " : "", jsonEscape(c.idiom).c_str(),
+                        idioms::idiomClassName(c.cls));
+            for (size_t t = 0; t < c.targets.size(); ++t)
+                std::printf(
+                    "%s\"%s\"", t ? ", " : "",
+                    runtime::backendToken(c.targets[t]).c_str());
+            std::printf("]}");
+        }
         std::printf("]}, \"programs\": [");
         for (size_t i = 0; i < programs.size(); ++i) {
             const ProgramResult &p = programs[i];
@@ -217,6 +281,13 @@ main(int argc, char **argv)
                     library.errorCount(), library.warningCount());
         for (const auto &d : library.diags)
             std::printf("  %s\n", d.str().c_str());
+        for (const auto &c : coverage) {
+            std::printf("backend coverage: %-26s %zu target%s%s\n",
+                        c.idiom.c_str(), c.targets.size(),
+                        c.targets.size() == 1 ? "" : "s",
+                        c.targets.size() < 2 ? "  [undercovered]"
+                                             : "");
+        }
         for (const auto &p : programs) {
             if (p.error.empty())
                 std::printf("%-10s ok (%zu matches, %zu "

@@ -83,6 +83,7 @@ main(int argc, char **argv)
     size_t capacity = driver::MatchCache::kDefaultCapacity;
     uint64_t autosave_ms = 0;
     uint64_t deadline_ms = 0;
+    bool cost_model = false;
     service::ServerOptions server_opts;
 
     for (int i = 1; i < argc; ++i) {
@@ -108,13 +109,15 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
             server_opts.maxInFlight =
                 static_cast<size_t>(std::atoll(argv[i] + 15));
+        } else if (std::strcmp(argv[i], "--cost-model") == 0) {
+            cost_model = true;
         } else {
             std::fprintf(
                 stderr,
                 "usage: %s [--unix=PATH | --tcp=PORT] [--capacity=N]"
                 " [--snapshot=PATH] [--autosave-ms=N]"
                 " [--deadline-ms=N] [--max-connections=N]"
-                " [--max-inflight=N]\n",
+                " [--max-inflight=N] [--cost-model]\n",
                 argv[0]);
             return 2;
         }
@@ -127,6 +130,8 @@ main(int argc, char **argv)
     service::ServiceOptions opts;
     opts.cacheCapacity = capacity;
     opts.defaultDeadlineMillis = deadline_ms;
+    if (cost_model)
+        opts.backendPolicy = transform::BackendPolicy::CostModel;
     service::MatchService svc(opts);
 
     if (!snapshot_path.empty()) {
